@@ -1,0 +1,163 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (one target each) and runs Bechamel microbenchmarks of the hot
+   kernels.
+
+     dune exec bench/main.exe -- all            # every experiment, quick scale
+     dune exec bench/main.exe -- fig9 --paper   # one experiment, paper scale
+     dune exec bench/main.exe -- micro          # kernel microbenchmarks
+
+   Quick scale shrinks sample counts (see Config); shapes are preserved.
+   EXPERIMENTS.md records paper-vs-measured for each experiment. *)
+
+let experiments : (string * string * (Core.Config.t -> unit)) list =
+  [
+    ("table1", "gate families and fidelity models", fun cfg -> Core.Table1.run ~cfg ());
+    ("table2", "instruction sets studied", fun cfg -> Core.Table2.run ~cfg ());
+    ("fig1", "framework block -> module map", fun cfg -> Core.Fig1.run ~cfg ());
+    ("fig2", "example NuOp decompositions", fun cfg -> Core.Fig2.run ~cfg ());
+    ("fig3", "Aspen-8 calibration table", fun cfg -> Core.Fig3.run ~cfg ());
+    ("fig4", "the NuOp template circuit", fun cfg -> Core.Fig4.run ~cfg ());
+    ("fig5", "noise-adaptive decomposition walkthrough", fun cfg -> Core.Fig5.run ~cfg ());
+    ("fig6", "NuOp vs Cirq gate counts", fun cfg -> Core.Fig6.run ~cfg ());
+    ("fig7", "exact vs approximate decomposition", fun cfg -> Core.Fig7.run ~cfg ());
+    ("fig8", "fSim expressivity heatmaps", fun cfg -> Core.Fig8.run ~cfg ());
+    ("fig9", "Aspen-8 instruction-set study", fun cfg -> Core.Fig9.run ~cfg ());
+    ("fig10", "Sycamore instruction-set study", fun cfg -> Core.Fig10.run ~cfg ());
+    ("fig11", "calibration overhead model", fun cfg -> Core.Fig11.run ~cfg ());
+    ("ablations", "design-decision & extension ablations", fun cfg -> Core.Ablations.run ~cfg ());
+  ]
+
+(* ---------- Bechamel microbenchmarks ---------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let rng = Linalg.Rng.create 3 in
+  let a = Linalg.Qr.haar_unitary rng 4 and b = Linalg.Qr.haar_unitary rng 4 in
+  let dst = Linalg.Mat.create 4 4 in
+  (* boxed reference matmul for the unboxed-storage ablation *)
+  let boxed_mul x y =
+    Linalg.Mat.init 4 4 (fun i j ->
+        let acc = ref Complex.zero in
+        for k = 0 to 3 do
+          acc := Complex.add !acc (Complex.mul (Linalg.Mat.get x i k) (Linalg.Mat.get y k j))
+        done;
+        !acc)
+  in
+  let target = Linalg.Qr.haar_special_unitary rng 4 in
+  let template = Decompose.Template.create Gates.Gate_type.s3 ~layers:3 in
+  let params =
+    Array.init (Decompose.Template.param_count template) (fun _ ->
+        Linalg.Rng.uniform rng (-.Float.pi) Float.pi)
+  in
+  let state16 = Sim.State.create 16 in
+  let syc = Gates.Twoq.syc in
+  let qv_target = Linalg.Qr.haar_special_unitary rng 4 in
+  let nuop_opts = { Decompose.Nuop.default_options with starts = 1 } in
+  [
+    Test.make ~name:"mat4.mul (unboxed)" (Staged.stage (fun () -> Linalg.Mat.mul_into ~dst a b));
+    Test.make ~name:"mat4.mul (boxed ref)" (Staged.stage (fun () -> ignore (boxed_mul a b)));
+    Test.make ~name:"template.eval 3 layers"
+      (Staged.stage (fun () -> ignore (Decompose.Template.fidelity template params ~target)));
+    Test.make ~name:"statevector 2q gate @16q"
+      (Staged.stage (fun () -> Sim.State.apply_matrix state16 syc [| 3; 9 |]));
+    Test.make ~name:"nuop exact SU4->CZ (1 start)"
+      (Staged.stage (fun () ->
+           ignore
+             (Decompose.Nuop.decompose_exact ~options:nuop_opts Gates.Gate_type.s3
+                ~target:qv_target)));
+    Test.make ~name:"weyl.cnot_count"
+      (Staged.stage (fun () -> ignore (Decompose.Weyl.cnot_count qv_target)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "Microbenchmarks (ns/run via OLS):";
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.6) ~kde:(Some 500) () in
+  let tests = micro_tests () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let stats = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-36s %14.1f ns\n%!" name est
+          | _ -> Printf.printf "  %-36s (no estimate)\n%!" name)
+        stats)
+    tests
+
+(* ---------- optimizer ablation (BFGS vs Nelder-Mead) ---------- *)
+
+let run_ablation () =
+  print_endline "\nAblation: BFGS vs Nelder-Mead on one SU(4)->CZ template (3 layers):";
+  let rng = Linalg.Rng.create 9 in
+  let target = Linalg.Qr.haar_special_unitary rng 4 in
+  let template = Decompose.Template.create Gates.Gate_type.s3 ~layers:3 in
+  let dim = Decompose.Template.param_count template in
+  let objective p = Decompose.Template.infidelity template p ~target in
+  let x0 = Array.init dim (fun _ -> Linalg.Rng.uniform rng (-.Float.pi) Float.pi) in
+  let t0 = Sys.time () in
+  let b = Optimize.Bfgs.minimize objective x0 in
+  let t1 = Sys.time () in
+  let nm =
+    Optimize.Nelder_mead.minimize
+      ~options:{ Optimize.Nelder_mead.default_options with max_iter = 20000 }
+      objective x0
+  in
+  let t2 = Sys.time () in
+  Printf.printf "  BFGS:        infidelity %.2e in %d iters, %d evals, %.0f ms\n"
+    b.Optimize.Bfgs.f b.iterations b.evaluations
+    (1000.0 *. (t1 -. t0));
+  Printf.printf "  Nelder-Mead: infidelity %.2e in %d iters, %d evals, %.0f ms\n"
+    nm.Optimize.Nelder_mead.f nm.iterations nm.evaluations
+    (1000.0 *. (t2 -. t1))
+
+(* ---------- CLI ---------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let paper = List.mem "--paper" args in
+  let names =
+    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
+  in
+  let cfg = if paper then Core.Config.paper else Core.Config.quick in
+  let run_one name =
+    match List.find_opt (fun (n, _, _) -> String.equal n name) experiments with
+    | Some (_, _, f) ->
+      let t0 = Unix.gettimeofday () in
+      f cfg;
+      Printf.printf "\n[%s done in %.1f s]\n%!" name (Unix.gettimeofday () -. t0)
+    | None ->
+      (match name with
+      | "micro" ->
+        run_micro ();
+        run_ablation ()
+      | "all" ->
+        List.iter (fun (n, _, _) -> ignore n) experiments;
+        List.iter
+          (fun (n, _, f) ->
+            let t0 = Unix.gettimeofday () in
+            f cfg;
+            Printf.printf "\n[%s done in %.1f s]\n%!" n (Unix.gettimeofday () -. t0))
+          experiments;
+        run_ablation ()
+      | _ ->
+        Printf.eprintf "unknown experiment %s\navailable:\n" name;
+        List.iter (fun (n, d, _) -> Printf.eprintf "  %-8s %s\n" n d) experiments;
+        Printf.eprintf "  %-8s kernel microbenchmarks\n  %-8s everything\n" "micro" "all";
+        exit 1)
+  in
+  match names with
+  | [] ->
+    Printf.printf
+      "NuOp reproduction bench harness: running ALL experiments at %s scale.\n\
+       (pass an experiment name to run one; --paper for published scale)\n%!"
+      (if paper then "paper" else "quick");
+    List.iter run_one (List.map (fun (n, _, _) -> n) experiments);
+    run_micro ();
+    run_ablation ()
+  | names -> List.iter run_one names

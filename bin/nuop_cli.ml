@@ -1,0 +1,281 @@
+(* nuop — command-line interface to the reproduction library.
+
+   Subcommands:
+     decompose    decompose a two-qubit unitary into a hardware gate type
+     devices      print the modelled devices and their calibration data
+     study        run a benchmark suite against an instruction set
+     calibration  print the Sec IX calibration cost model
+     experiment   run one of the paper's table/figure reproductions *)
+
+open Cmdliner
+
+let known_targets rng = function
+  | "su4" -> Apps.Qv.random_unitary rng
+  | "swap" -> Gates.Twoq.swap
+  | "cz" -> Gates.Twoq.cz
+  | "iswap" -> Gates.Twoq.iswap
+  | s when String.length s > 3 && String.sub s 0 3 = "zz:" ->
+    Gates.Twoq.zz (float_of_string (String.sub s 3 (String.length s - 3)))
+  | s when String.length s > 7 && String.sub s 0 7 = "cphase:" ->
+    Gates.Twoq.cphase (float_of_string (String.sub s 7 (String.length s - 7)))
+  | s -> invalid_arg (Printf.sprintf "unknown target %s" s)
+
+let known_gate_types = function
+  | "cz" -> Gates.Gate_type.s3
+  | "syc" -> Gates.Gate_type.s1
+  | "iswap" -> Gates.Gate_type.s4
+  | "sqrt_iswap" -> Gates.Gate_type.s2
+  | "swap" -> Gates.Gate_type.swap_type
+  | "xy_pi" -> Gates.Gate_type.xy_pi
+  | "full_fsim" -> Gates.Gate_type.Fsim_family
+  | "full_xy" -> Gates.Gate_type.Xy_family
+  | s when String.length s > 5 && String.sub s 0 5 = "fsim:" -> begin
+    match String.split_on_char ',' (String.sub s 5 (String.length s - 5)) with
+    | [ theta; phi ] ->
+      Gates.Gate_type.fsim_type (float_of_string theta) (float_of_string phi)
+    | _ -> invalid_arg "expected fsim:<theta>,<phi>"
+  end
+  | s -> invalid_arg (Printf.sprintf "unknown gate type %s" s)
+
+(* ---------- decompose ---------- *)
+
+let decompose_cmd =
+  let target =
+    Arg.(
+      value
+      & opt string "su4"
+      & info [ "target"; "t" ] ~docv:"UNITARY"
+          ~doc:
+            "Unitary to decompose: su4 (random), swap, cz, iswap, zz:<angle>, \
+             cphase:<angle>.")
+  in
+  let gate =
+    Arg.(
+      value
+      & opt string "cz"
+      & info [ "gate"; "g" ] ~docv:"GATE"
+          ~doc:
+            "Hardware gate type: cz, syc, iswap, sqrt_iswap, swap, xy_pi, \
+             fsim:<theta>,<phi>, full_fsim, full_xy.")
+  in
+  let error_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "error" ] ~docv:"RATE"
+          ~doc:
+            "Hardware error rate per gate; switches to approximate (Eq 2) \
+             decomposition.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let run target gate error_rate seed =
+    let rng = Linalg.Rng.create seed in
+    let u = known_targets rng target in
+    let ty = known_gate_types gate in
+    let d =
+      match error_rate with
+      | None -> Decompose.Nuop.decompose_exact ty ~target:u
+      | Some e ->
+        let fh layers = (1.0 -. e) ** float_of_int layers in
+        Decompose.Nuop.decompose_approx ~fh ty ~target:u
+    in
+    Printf.printf "%s -> %s: %d gate applications\n" target gate d.Decompose.Nuop.layers;
+    Printf.printf "decomposition fidelity F_d = %.8f" d.Decompose.Nuop.fd;
+    if Option.is_some error_rate then
+      Printf.printf ", overall F_u = %.6f" (Decompose.Nuop.overall_fidelity d);
+    print_newline ();
+    Printf.printf "minimal CZ-count lower bound (Weyl): %d\n\n" (Decompose.Weyl.cnot_count u);
+    Qcir.Printer.print (Decompose.Nuop.to_circuit d ~n_qubits:2 ~qubits:(0, 1))
+  in
+  Cmd.v
+    (Cmd.info "decompose" ~doc:"Decompose a two-qubit unitary with NuOp")
+    Term.(const run $ target $ gate $ error_rate $ seed)
+
+(* ---------- devices ---------- *)
+
+let devices_cmd =
+  let run () =
+    Core.Fig3.run ();
+    let cal = Device.Sycamore.device () in
+    Core.Report.heading "Sycamore model";
+    Printf.printf "%d qubits, %d couplers; SYC error N(%.2f%%, %.2f%%)\n"
+      Device.Sycamore.n_qubits
+      (Device.Topology.edge_count (Device.Calibration.topology cal))
+      (100.0 *. Device.Sycamore.err_mu)
+      (100.0 *. Device.Sycamore.err_sigma);
+    Printf.printf "mean SYC error on this instance: %.3f%%\n"
+      (100.0 *. Device.Calibration.mean_twoq_error cal Gates.Gate_type.s1)
+  in
+  Cmd.v (Cmd.info "devices" ~doc:"Print the modelled devices") Term.(const run $ const ())
+
+(* ---------- study ---------- *)
+
+let study_cmd =
+  let isa_arg =
+    Arg.(
+      value & opt string "G7"
+      & info [ "isa" ] ~docv:"ISA" ~doc:"Instruction set (Table II name, e.g. S1, G7, R5, Full_fSim).")
+  in
+  let app_arg =
+    Arg.(
+      value & opt string "qaoa"
+      & info [ "app" ] ~docv:"APP" ~doc:"Benchmark: qv, qaoa, qft, fh.")
+  in
+  let qubits = Arg.(value & opt int 4 & info [ "qubits"; "n" ] ~doc:"Circuit width.") in
+  let count = Arg.(value & opt int 5 & info [ "count" ] ~doc:"Number of random circuits.") in
+  let device =
+    Arg.(
+      value & opt string "sycamore"
+      & info [ "device" ] ~doc:"Device model: sycamore or aspen8.")
+  in
+  let seed = Arg.(value & opt int 2021 & info [ "seed" ] ~doc:"Random seed.") in
+  let run isa_name app qubits count device seed =
+    let isa =
+      match Compiler.Isa.find isa_name with
+      | Some isa -> isa
+      | None -> invalid_arg (Printf.sprintf "unknown ISA %s" isa_name)
+    in
+    let cal =
+      match device with
+      | "sycamore" -> Device.Sycamore.line_device (max 4 qubits)
+      | "aspen8" -> Device.Aspen8.ring_device ()
+      | d -> invalid_arg (Printf.sprintf "unknown device %s" d)
+    in
+    let rng = Linalg.Rng.create seed in
+    let circuits, metric =
+      match app with
+      | "qv" -> (Apps.Qv.circuits rng ~count qubits, Core.Study.Hop)
+      | "qaoa" -> (Apps.Qaoa.circuits rng ~count qubits, Core.Study.Xed)
+      | "qft" -> ([ Apps.Qft.circuit qubits ], Core.Study.State_fidelity)
+      | "fh" -> ([ Apps.Fermi_hubbard.circuit (max 4 qubits) ], Core.Study.Xeb_fidelity)
+      | a -> invalid_arg (Printf.sprintf "unknown app %s" a)
+    in
+    let r = Core.Study.evaluate_suite ~cal ~isa ~metric circuits in
+    Core.Study.print_results ~metric [ r ]
+  in
+  Cmd.v
+    (Cmd.info "study" ~doc:"Compile and simulate a benchmark against an instruction set")
+    Term.(const run $ isa_arg $ app_arg $ qubits $ count $ device $ seed)
+
+(* ---------- calibration ---------- *)
+
+let calibration_cmd =
+  let qubits = Arg.(value & opt int 54 & info [ "qubits"; "n" ] ~doc:"Device size.") in
+  let types = Arg.(value & opt int 8 & info [ "types" ] ~doc:"Number of gate types.") in
+  let run qubits types =
+    let m = Calibration.Model.default in
+    let pairs = Calibration.Model.grid_pairs qubits in
+    Printf.printf "%d qubits (~%d couplers), %d gate types:\n" qubits pairs types;
+    Printf.printf "  circuits per type per pair: %d\n" (Calibration.Model.circuits_per_type_pair m);
+    Printf.printf "  total calibration circuits: %.3e\n"
+      (float_of_int (Calibration.Model.total_circuits m ~n_pairs:pairs ~n_types:types));
+    Printf.printf "  time: %.0f h serial, %.0f h with parallel batches\n"
+      (Calibration.Model.time_hours_serial m ~n_pairs:pairs ~n_types:types)
+      (Calibration.Model.time_hours_parallel m ~n_types:types);
+    Printf.printf "  continuous fSim family overhead vs this set: %.0fx\n"
+      (Calibration.Model.continuous_overhead_factor ~n_types:types)
+  in
+  Cmd.v
+    (Cmd.info "calibration" ~doc:"Evaluate the Sec IX calibration cost model")
+    Term.(const run $ qubits $ types)
+
+(* ---------- qasm ---------- *)
+
+let qasm_cmd =
+  let target =
+    Arg.(
+      value & opt string "su4"
+      & info [ "target"; "t" ] ~docv:"UNITARY"
+          ~doc:"Unitary to compile: su4, swap, cz, iswap, zz:<angle>, cphase:<angle>.")
+  in
+  let gate =
+    Arg.(
+      value & opt string "cz"
+      & info [ "gate"; "g" ] ~docv:"GATE" ~doc:"Hardware gate type (see decompose).")
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the OpenQASM 2.0 file here.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let run target gate output seed =
+    let rng = Linalg.Rng.create seed in
+    let u = known_targets rng target in
+    let ty = known_gate_types gate in
+    let d = Decompose.Nuop.decompose_exact ty ~target:u in
+    let circuit = Decompose.Nuop.to_circuit d ~n_qubits:2 ~qubits:(0, 1) in
+    match output with
+    | Some path ->
+      Qcir.Qasm.to_file path circuit;
+      Printf.printf "wrote %s (%d instructions)\n" path (Qcir.Circuit.length circuit)
+    | None -> print_string (Qcir.Qasm.to_string circuit)
+  in
+  Cmd.v
+    (Cmd.info "qasm" ~doc:"Decompose a unitary and export OpenQASM 2.0")
+    Term.(const run $ target $ gate $ output $ seed)
+
+(* ---------- weyl ---------- *)
+
+let weyl_cmd =
+  let target =
+    Arg.(
+      value & opt string "su4"
+      & info [ "target"; "t" ] ~docv:"UNITARY"
+          ~doc:"Unitary to analyse: su4, swap, cz, iswap, zz:<angle>, cphase:<angle>.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let run target seed =
+    let rng = Linalg.Rng.create seed in
+    let u = known_targets rng target in
+    Printf.printf "minimal CNOT/CZ count: %d\n" (Decompose.Weyl.cnot_count u);
+    let g1, g2 = Decompose.Weyl.makhlin_invariants u in
+    Printf.printf "Makhlin invariants: G1 = %.6f%+.6fi, G2 = %.6f\n" g1.Complex.re
+      g1.Complex.im g2;
+    let c1, c2, c3 = Decompose.Weyl.coordinates u in
+    Printf.printf "Weyl coordinates: (%.6f, %.6f, %.6f)  (pi/4 = %.6f)\n" c1 c2 c3
+      (Float.pi /. 4.0)
+  in
+  Cmd.v
+    (Cmd.info "weyl" ~doc:"Weyl-chamber analysis of a two-qubit unitary")
+    Term.(const run $ target $ seed)
+
+(* ---------- experiment ---------- *)
+
+let experiment_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"table1, table2, fig2, fig3, fig5..fig11.")
+  in
+  let paper = Arg.(value & flag & info [ "paper" ] ~doc:"Paper-scale sample counts.") in
+  let run name paper =
+    let cfg = if paper then Core.Config.paper else Core.Config.quick in
+    match name with
+    | "table1" -> Core.Table1.run ~cfg ()
+    | "table2" -> Core.Table2.run ~cfg ()
+    | "fig1" -> Core.Fig1.run ~cfg ()
+    | "fig4" -> Core.Fig4.run ~cfg ()
+    | "fig2" -> Core.Fig2.run ~cfg ()
+    | "fig3" -> Core.Fig3.run ~cfg ()
+    | "fig5" -> Core.Fig5.run ~cfg ()
+    | "fig6" -> Core.Fig6.run ~cfg ()
+    | "fig7" -> Core.Fig7.run ~cfg ()
+    | "fig8" -> Core.Fig8.run ~cfg ()
+    | "fig9" -> Core.Fig9.run ~cfg ()
+    | "fig10" -> Core.Fig10.run ~cfg ()
+    | "fig11" -> Core.Fig11.run ~cfg ()
+    | "ablations" -> Core.Ablations.run ~cfg ()
+    | n -> invalid_arg (Printf.sprintf "unknown experiment %s" n)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run one of the paper's table/figure reproductions")
+    Term.(const run $ name_arg $ paper)
+
+let () =
+  let doc = "calibration & expressivity-efficient quantum instruction sets (ISCA 2021 reproduction)" in
+  let info = Cmd.info "nuop" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ decompose_cmd; devices_cmd; study_cmd; calibration_cmd; qasm_cmd; weyl_cmd; experiment_cmd ]))

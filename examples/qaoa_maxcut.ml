@@ -1,0 +1,71 @@
+(* QAOA MaxCut end-to-end: generate an instance, compile it for two
+   instruction sets on the Aspen-8 model, simulate with realistic noise
+   and compare solution quality.
+
+     dune exec examples/qaoa_maxcut.exe *)
+
+open Linalg
+
+let expectation_cut graph probs =
+  let n = Apps.Graph.n graph in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun bits p ->
+      let assignment = Array.init n (fun q -> (bits lsr q) land 1 = 1) in
+      total := !total +. (p *. float_of_int (Apps.Graph.cut_value graph assignment)))
+    probs;
+  !total
+
+(* coarse grid search for good (gamma, beta) — QAOA is variational, and
+   random angles make a poor showcase *)
+let optimize_angles graph =
+  let best = ref (0.4, 0.4, -.infinity) in
+  for gi = 1 to 12 do
+    for bi = 1 to 12 do
+      let gamma = 0.1 *. float_of_int gi and beta = 0.1 *. float_of_int bi in
+      let inst = { Apps.Qaoa.graph; gamma; beta } in
+      let probs =
+        Sim.State.probabilities
+          (Sim.State.run_circuit (Apps.Qaoa.circuit_of_instance inst))
+      in
+      let cut = expectation_cut graph probs in
+      let _, _, best_cut = !best in
+      if cut > best_cut then best := (gamma, beta, cut)
+    done
+  done;
+  !best
+
+let () =
+  let rng = Rng.create 7 in
+  let n = 4 in
+  let graph = (Apps.Qaoa.random_instance rng n).Apps.Qaoa.graph in
+  Printf.printf "MaxCut instance: %d qubits, %d edges, optimal cut = %d\n" n
+    (Apps.Graph.edge_count graph)
+    (Apps.Graph.max_cut_brute_force graph);
+  let gamma, beta, _ = optimize_angles graph in
+  let inst = { Apps.Qaoa.graph; gamma; beta } in
+  Printf.printf "Optimized QAOA angles: gamma = %.2f, beta = %.2f\n\n" gamma beta;
+
+  let circuit = Apps.Qaoa.circuit_of_instance inst in
+  let ideal_probs = Sim.State.probabilities (Sim.State.run_circuit circuit) in
+  Printf.printf "Noiseless expected cut: %.3f\n\n" (expectation_cut graph ideal_probs);
+
+  let cal = Device.Aspen8.ring_device () in
+  List.iter
+    (fun isa ->
+      let compiled = Compiler.Pipeline.compile ~cal ~isa circuit in
+      let nm = Compiler.Pipeline.noise_model ~cal compiled in
+      let noisy =
+        Compiler.Pipeline.logical_probabilities compiled
+          (Sim.Noisy.output_probabilities nm compiled.Compiler.Pipeline.circuit)
+      in
+      Printf.printf
+        "%-8s %2d hardware 2Q gates (%d routing SWAPs) | XED = %.4f | expected cut = %.3f\n"
+        (Compiler.Isa.name isa) compiled.Compiler.Pipeline.twoq_count
+        compiled.Compiler.Pipeline.swap_count
+        (Metrics.Xed.difference ~ideal:ideal_probs ~noisy)
+        (expectation_cut graph noisy))
+    Compiler.Isa.[ s3; s4; r1; r5; full_xy ];
+  Printf.printf
+    "\nMulti-type sets (R1, R5) express the same circuit in fewer noisy gates\n\
+     and recover more of the noiseless cut value — Fig 9b of the paper.\n"

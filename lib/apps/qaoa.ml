@@ -1,0 +1,41 @@
+(* QAOA MaxCut ansatz circuits (Farhi et al.; one layer, as in Sec VI).
+
+   |+>^n, then exp(-i gamma Z_a Z_b) for each graph edge, then single-
+   qubit X rotations exp(-i beta X). Angles are random per instance,
+   matching the paper's "100 random circuits with different unitaries". *)
+
+open Linalg
+
+type instance = { graph : Graph.t; gamma : float; beta : float }
+
+(* Angle ranges follow optimized MaxCut-ansatz values (ReCirq instances
+   land mid-range); the extremes gamma ~ 0 and gamma ~ pi/2 make the ZZ
+   interaction nearly local and the XED metric degenerate. *)
+let random_instance rng n =
+  {
+    graph = Graph.erdos_renyi rng n;
+    gamma = Rng.uniform rng 0.4 1.2;
+    beta = Rng.uniform rng 0.2 0.8;
+  }
+
+let circuit_of_instance inst =
+  let n = Graph.n inst.graph in
+  let c = ref (Qcir.Circuit.empty n) in
+  for q = 0 to n - 1 do
+    c := Qcir.Circuit.add_gate !c Gates.Gate.h [| q |]
+  done;
+  List.iter
+    (fun (a, b) ->
+      c := Qcir.Circuit.add_gate !c (Gates.Gate.zz inst.gamma) [| a; b |])
+    (Graph.edges inst.graph);
+  for q = 0 to n - 1 do
+    c := Qcir.Circuit.add_gate !c (Gates.Gate.rx (2.0 *. inst.beta)) [| q |]
+  done;
+  !c
+
+let circuit rng n = circuit_of_instance (random_instance rng n)
+
+let circuits rng ~count n = List.init count (fun _ -> circuit rng n)
+
+(* ZZ interaction unitary with a random angle (Fig 8 characterization). *)
+let random_unitary rng = Gates.Twoq.zz (Rng.uniform rng 0.3 1.25)

@@ -1,0 +1,12 @@
+(** QAOA MaxCut ansatz circuits (one layer). *)
+
+open Linalg
+
+type instance = { graph : Graph.t; gamma : float; beta : float }
+
+val random_instance : Rng.t -> int -> instance
+val circuit_of_instance : instance -> Qcir.Circuit.t
+val circuit : Rng.t -> int -> Qcir.Circuit.t
+val circuits : Rng.t -> count:int -> int -> Qcir.Circuit.t list
+val random_unitary : Rng.t -> Mat.t
+(** One random-angle ZZ interaction (Fig 8 characterization). *)

@@ -1,0 +1,25 @@
+(* Quantum Volume model circuits (Cross et al., Phys Rev A 100, 032328).
+
+   Each n-qubit QV circuit has n layers; each layer applies Haar-random
+   SU(4) unitaries to a random disjoint pairing of the qubits (the odd
+   qubit, if any, idles). *)
+
+open Linalg
+
+let circuit rng n =
+  assert (n >= 2);
+  let c = ref (Qcir.Circuit.empty n) in
+  for _layer = 1 to n do
+    let perm = Rng.permutation rng n in
+    for k = 0 to (n / 2) - 1 do
+      let a = perm.(2 * k) and b = perm.((2 * k) + 1) in
+      let u = Qr.haar_special_unitary rng 4 in
+      c := Qcir.Circuit.add_gate !c (Gates.Gate.su4 ~label:"qv_su4" u) [| a; b |]
+    done
+  done;
+  !c
+
+let circuits rng ~count n = List.init count (fun _ -> circuit rng n)
+
+(* The unitary sampler used for the Fig 8 characterization heatmaps. *)
+let random_unitary rng = Qr.haar_special_unitary rng 4

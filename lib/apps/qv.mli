@@ -1,0 +1,8 @@
+(** Quantum Volume model circuits (random SU(4) layers). *)
+
+open Linalg
+
+val circuit : Rng.t -> int -> Qcir.Circuit.t
+val circuits : Rng.t -> count:int -> int -> Qcir.Circuit.t list
+val random_unitary : Rng.t -> Mat.t
+(** One Haar-random SU(4) sample (Fig 8 characterization). *)

@@ -1,0 +1,39 @@
+(* The application-unitary sample sets used by the Fig 8 expressivity
+   characterization: random QV, QAOA, QFT, FH unitaries and the SWAP. *)
+
+let qv_set rng ~count = List.init count (fun _ -> Qv.random_unitary rng)
+
+let qaoa_set rng ~count = List.init count (fun _ -> Qaoa.random_unitary rng)
+
+(* The paper uses 10 QFT unitaries: CZ(pi/2^t) for t = 1..10. *)
+let qft_set ?(count = 10) () =
+  List.init count (fun k -> Gates.Twoq.cphase (Float.pi /. Float.of_int (1 lsl (k + 1))))
+
+(* 60 FH unitaries: a mix of hopping and on-site interaction angles. *)
+let fh_set rng ~count =
+  List.init count (fun k ->
+      if k mod 3 = 0 then Fermi_hubbard.interaction_unitary rng
+      else Fermi_hubbard.random_unitary rng)
+
+let swap_set () = [ Gates.Twoq.swap ]
+
+type application = Qv | Qaoa | Qft | Fh | Swap
+
+let application_name = function
+  | Qv -> "QV"
+  | Qaoa -> "QAOA"
+  | Qft -> "QFT"
+  | Fh -> "FH"
+  | Swap -> "SWAP"
+
+let all_applications = [ Qv; Qaoa; Qft; Fh; Swap ]
+
+let default_counts = function Qv -> 25 | Qaoa -> 25 | Qft -> 10 | Fh -> 15 | Swap -> 1
+
+let sample rng app ~count =
+  match app with
+  | Qv -> qv_set rng ~count
+  | Qaoa -> qaoa_set rng ~count
+  | Qft -> qft_set ~count:(min count 10) ()
+  | Fh -> fh_set rng ~count
+  | Swap -> swap_set ()

@@ -1,0 +1,17 @@
+(** Application-unitary sample sets for the Fig 8 expressivity
+    characterization. *)
+
+open Linalg
+
+val qv_set : Rng.t -> count:int -> Mat.t list
+val qaoa_set : Rng.t -> count:int -> Mat.t list
+val qft_set : ?count:int -> unit -> Mat.t list
+val fh_set : Rng.t -> count:int -> Mat.t list
+val swap_set : unit -> Mat.t list
+
+type application = Qv | Qaoa | Qft | Fh | Swap
+
+val application_name : application -> string
+val all_applications : application list
+val default_counts : application -> int
+val sample : Rng.t -> application -> count:int -> Mat.t list

@@ -1,0 +1,64 @@
+(** Calibration drift and recalibration policy (extends Sec IX).
+
+    Ornstein-Uhlenbeck drift of gate error rates away from their
+    calibrated values, and the availability/staleness tradeoff of
+    periodic recalibration as the gate-type count grows. *)
+
+type params = {
+  diffusion_sigma : float;  (** drift std-dev per sqrt(hour) *)
+  step_hours : float;
+}
+
+val default : params
+
+val simulate_multiplier_path : Linalg.Rng.t -> params -> hours:float -> float list
+(** Error-rate multiplier (>= 1, starts freshly calibrated) at each
+    integration step. *)
+
+val mean_multiplier : ?samples:int -> Linalg.Rng.t -> params -> period_hours:float -> float
+(** Time-averaged multiplier when recalibrating every [period_hours]. *)
+
+type policy_point = {
+  n_types : int;
+  period_hours : float;
+  calibration_hours : float;
+  duty_cycle : float;
+  error_multiplier : float;
+  effective_fidelity_score : float;
+}
+
+val evaluate_policy :
+  ?model:Model.t ->
+  ?drift:params ->
+  ?samples:int ->
+  rng:Linalg.Rng.t ->
+  n_types:int ->
+  period_hours:float ->
+  base_error:float ->
+  gates_per_program:int ->
+  unit ->
+  policy_point
+
+val default_periods : float list
+
+val best_policies :
+  ?model:Model.t ->
+  ?drift:params ->
+  ?samples:int ->
+  ?periods:float list ->
+  rng:Linalg.Rng.t ->
+  type_counts:int list ->
+  base_error:float ->
+  gates_per_program:int ->
+  unit ->
+  policy_point list
+(** Best recalibration period per gate-type count. *)
+
+val degrade_calibration :
+  Device.Calibration.t ->
+  rng:Linalg.Rng.t ->
+  drift:params ->
+  hours_since_calibration:float ->
+  unit
+(** Apply independent drift multipliers to every stored gate error
+    in-place. *)

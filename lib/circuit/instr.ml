@@ -1,0 +1,32 @@
+(* One circuit instruction: a gate applied to an ordered list of qubits. *)
+
+type t = { gate : Gates.Gate.t; qubits : int array }
+
+let make gate qubits =
+  if Array.length qubits <> Gates.Gate.arity gate then
+    invalid_arg
+      (Printf.sprintf "Instr.make: gate %s has arity %d but got %d qubits"
+         (Gates.Gate.name gate) (Gates.Gate.arity gate) (Array.length qubits));
+  let seen = Hashtbl.create 4 in
+  Array.iter
+    (fun q ->
+      if q < 0 then invalid_arg "Instr.make: negative qubit index";
+      if Hashtbl.mem seen q then invalid_arg "Instr.make: duplicate qubit";
+      Hashtbl.add seen q ())
+    qubits;
+  { gate; qubits = Array.copy qubits }
+
+let gate t = t.gate
+let qubits t = Array.copy t.qubits
+let arity t = Array.length t.qubits
+let is_two_qubit t = arity t = 2
+
+let uses_qubit t q = Array.exists (fun x -> x = q) t.qubits
+
+let map_qubits f t =
+  make t.gate (Array.map f t.qubits)
+
+let pp ppf t =
+  Fmt.pf ppf "%s %a" (Gates.Gate.name t.gate)
+    Fmt.(array ~sep:(any ",") int)
+    t.qubits

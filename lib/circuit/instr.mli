@@ -1,0 +1,16 @@
+(** One circuit instruction: a gate applied to an ordered tuple of
+    distinct qubits. *)
+
+type t
+
+val make : Gates.Gate.t -> int array -> t
+(** Raises [Invalid_argument] if the qubit count does not match the gate
+    arity, indices repeat, or an index is negative. *)
+
+val gate : t -> Gates.Gate.t
+val qubits : t -> int array
+val arity : t -> int
+val is_two_qubit : t -> bool
+val uses_qubit : t -> int -> bool
+val map_qubits : (int -> int) -> t -> t
+val pp : Format.formatter -> t -> unit

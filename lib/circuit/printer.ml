@@ -1,0 +1,81 @@
+(* ASCII circuit rendering used by the examples and the Fig 2/Fig 5
+   reproductions.
+
+   Instructions are scheduled ASAP into moments; each moment renders as a
+   fixed-width column.  Two-qubit gates draw their name on the first
+   qubit, a connector on the second. *)
+
+let moments circuit =
+  let n = Circuit.n_qubits circuit in
+  let avail = Array.make n 0 in
+  let buckets : Instr.t list array ref = ref (Array.make 8 []) in
+  let ensure k =
+    if k >= Array.length !buckets then begin
+      let bigger = Array.make (2 * (k + 1)) [] in
+      Array.blit !buckets 0 bigger 0 (Array.length !buckets);
+      buckets := bigger
+    end
+  in
+  let last = ref (-1) in
+  Circuit.iter
+    (fun instr ->
+      let qs = Instr.qubits instr in
+      let start = Array.fold_left (fun m q -> max m avail.(q)) 0 qs in
+      Array.iter (fun q -> avail.(q) <- start + 1) qs;
+      ensure start;
+      !buckets.(start) <- instr :: !buckets.(start);
+      if start > !last then last := start)
+    circuit;
+  List.init (!last + 1) (fun k -> List.rev !buckets.(k))
+
+let short_name gate =
+  let name = Gates.Gate.name gate in
+  if String.length name <= 12 then name else String.sub name 0 12
+
+let render circuit =
+  let n = Circuit.n_qubits circuit in
+  let ms = moments circuit in
+  let cols = List.length ms in
+  (* cell.(q).(c) is the label for qubit q at moment c *)
+  let cell = Array.make_matrix n cols "" in
+  List.iteri
+    (fun c instrs ->
+      List.iter
+        (fun instr ->
+          let qs = Instr.qubits instr in
+          match Array.length qs with
+          | 1 -> cell.(qs.(0)).(c) <- short_name (Instr.gate instr)
+          | 2 ->
+            cell.(qs.(0)).(c) <- short_name (Instr.gate instr) ^ "*0";
+            cell.(qs.(1)).(c) <- short_name (Instr.gate instr) ^ "*1"
+          | _ ->
+            Array.iteri
+              (fun k q -> cell.(q).(c) <- Printf.sprintf "%s#%d" (short_name (Instr.gate instr)) k)
+              qs)
+        instrs)
+    ms;
+  let widths =
+    Array.init cols (fun c ->
+        let w = ref 1 in
+        for q = 0 to n - 1 do
+          w := max !w (String.length cell.(q).(c))
+        done;
+        !w)
+  in
+  let buf = Buffer.create 256 in
+  for q = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "q%-2d: " q);
+    for c = 0 to cols - 1 do
+      let s = cell.(q).(c) in
+      let s = if s = "" then String.make widths.(c) '-' else s in
+      let pad = widths.(c) - String.length s in
+      Buffer.add_string buf "-";
+      Buffer.add_string buf s;
+      Buffer.add_string buf (String.make pad '-');
+      Buffer.add_string buf "-"
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let print circuit = print_string (render circuit)

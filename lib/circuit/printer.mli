@@ -1,0 +1,10 @@
+(** ASCII circuit rendering for examples and figure reproductions. *)
+
+val moments : Circuit.t -> Instr.t list list
+(** ASAP-scheduled moments (parallel layers) of the circuit. *)
+
+val render : Circuit.t -> string
+(** One line per qubit; two-qubit gates are tagged [*0]/[*1] on their
+    operands. *)
+
+val print : Circuit.t -> unit

@@ -1,0 +1,22 @@
+(** OpenQASM 2.0 export / import for the supported gate vocabulary.
+
+    Exported files carry a prelude defining the non-standard two-qubit
+    gates (fsim, xy, iswap, syc, ...) in qelib1 terms, so they load in
+    standard QASM toolchains. *)
+
+exception Unsupported_gate of string
+exception Parse_error of string
+
+val prelude : string
+
+val to_string : Circuit.t -> string
+(** Raises [Unsupported_gate] for gates outside the compiler's
+    vocabulary. *)
+
+val to_file : string -> Circuit.t -> unit
+
+val of_string : string -> Circuit.t
+(** Parses the subset emitted by [to_string] (plus common qelib1
+    single-qubit gates).  Raises [Parse_error] on malformed input. *)
+
+val of_file : string -> Circuit.t

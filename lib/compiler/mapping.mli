@@ -1,0 +1,11 @@
+(** Initial qubit placement on the device. *)
+
+val best_line : ?limit:int -> Device.Calibration.t -> Isa.t -> int -> int array option
+(** Noise-aware placement: the simple path of k device qubits whose edges
+    have the best available fidelities for the instruction set. *)
+
+val trivial : Device.Calibration.t -> int -> int array option
+(** First simple path found, fidelity-blind. *)
+
+val enumerate_paths : Device.Topology.t -> int -> limit:int -> int list list
+val path_score : Device.Calibration.t -> Isa.t -> int list -> float

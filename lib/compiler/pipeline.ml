@@ -1,0 +1,187 @@
+(* End-to-end compilation: place -> route -> NuOp-decompose with noise
+   adaptivity across gate types (Fig 1's toolflow).
+
+   For every routed two-qubit application unitary, each gate type in the
+   instruction set is tried (sharing cached fidelity curves); the type
+   and layer count maximizing F_u = F_d * F_h win (Eq 2).  F_h folds in
+   the per-edge error of the chosen type and the single-qubit layer
+   errors.  The output circuit is renumbered onto the qubits it actually
+   touches so the exact density simulator works on the smallest space,
+   while the noise model keeps per-instruction error rates measured on
+   the original device edges. *)
+
+type options = {
+  nuop : Decompose.Nuop.options;
+  approximate : bool;  (** Eq 2 approximate mode vs exact thresholded mode *)
+  exact_threshold : float;
+  adaptive : bool;  (** noise adaptivity across gate types *)
+}
+
+let default_options =
+  {
+    nuop = Decompose.Nuop.default_options;
+    approximate = true;
+    exact_threshold = 1.0 -. 1e-6;
+    adaptive = true;
+  }
+
+type compiled = {
+  circuit : Qcir.Circuit.t;  (** compact qubits, hardware gates only *)
+  twoq_errors : float array;  (** per instruction index (0.0 for 1Q) *)
+  qubit_map : int array;  (** compact qubit -> device qubit *)
+  final_layout : int array;  (** logical qubit -> compact qubit at readout *)
+  n_logical : int;
+  swap_count : int;
+  twoq_count : int;
+  isa : Isa.t;
+}
+
+(* Decompose one application unitary on a device edge, returning the
+   chosen decomposition. *)
+let decompose_on_edge ~options ~cal ~isa ~edge ~target =
+  let a, b = edge in
+  let f1 =
+    Device.Calibration.oneq_fidelity cal a *. Device.Calibration.oneq_fidelity cal b
+  in
+  let candidate ty =
+    let err = Device.Calibration.twoq_error cal edge ty in
+    let fh layers =
+      ((1.0 -. err) ** float_of_int layers) *. (f1 ** float_of_int (layers + 1))
+    in
+    let d =
+      if options.approximate then
+        Decompose.Cache.decompose_approx ~options:options.nuop ~fh ty ~target
+      else begin
+        let d =
+          Decompose.Cache.decompose_exact ~options:options.nuop
+            ~threshold:options.exact_threshold ty ~target
+        in
+        { d with fh = fh d.Decompose.Nuop.layers }
+      end
+    in
+    d
+  in
+  let candidates = List.map candidate (Isa.gate_types isa) in
+  if options.adaptive then Decompose.Nuop.select_best candidates
+  else begin
+    (* fidelity-blind selection: best decomposition quality, then fewest
+       gates (ablation mode) *)
+    match candidates with
+    | [] -> invalid_arg "Pipeline.decompose_on_edge: empty instruction set"
+    | first :: rest ->
+      List.fold_left
+        (fun best c ->
+          let open Decompose.Nuop in
+          if
+            c.fd > best.fd +. 1e-12
+            || (Float.abs (c.fd -. best.fd) <= 1e-12 && c.layers < best.layers)
+          then c
+          else best)
+        first rest
+  end
+
+(* Per-instruction error rates for the instructions NuOp emitted. *)
+let errors_of_decomposition ~cal ~edge (d : Decompose.Nuop.t) instrs =
+  List.map
+    (fun instr ->
+      if Qcir.Instr.is_two_qubit instr then
+        Device.Calibration.twoq_error cal edge d.gate_type
+      else 0.0)
+    instrs
+
+let compile ?(options = default_options) ~cal ~isa ?placement circuit =
+  let topology = Device.Calibration.topology cal in
+  let n_logical = Qcir.Circuit.n_qubits circuit in
+  let placement =
+    match placement with
+    | Some p -> p
+    | None -> (
+      match Mapping.best_line cal isa n_logical with
+      | Some p -> p
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Pipeline.compile: no %d-qubit line in the device" n_logical))
+  in
+  let routed = Router.route ~topology ~placement circuit in
+  (* decompose every routed instruction, tracking per-instruction errors *)
+  let rev_instrs = ref [] and rev_errors = ref [] in
+  let twoq_count = ref 0 in
+  let emit instr err =
+    rev_instrs := instr :: !rev_instrs;
+    rev_errors := err :: !rev_errors;
+    if Qcir.Instr.is_two_qubit instr then incr twoq_count
+  in
+  Qcir.Circuit.iter
+    (fun instr ->
+      let qs = Qcir.Instr.qubits instr in
+      match Array.length qs with
+      | 1 -> emit instr 0.0
+      | 2 ->
+        let edge = (qs.(0), qs.(1)) in
+        let target = Gates.Gate.matrix (Qcir.Instr.gate instr) in
+        let d = decompose_on_edge ~options ~cal ~isa ~edge ~target in
+        let instrs = Decompose.Nuop.to_instrs d ~qubits:(qs.(0), qs.(1)) in
+        let errs = errors_of_decomposition ~cal ~edge d instrs in
+        List.iter2 emit instrs errs
+      | _ -> invalid_arg "Pipeline.compile: gates beyond two qubits unsupported")
+    routed.circuit;
+  let instrs = List.rev !rev_instrs and errors = List.rev !rev_errors in
+  (* compact onto used qubits *)
+  let used = Hashtbl.create 16 in
+  List.iter (fun i -> Array.iter (fun q -> Hashtbl.replace used q ()) (Qcir.Instr.qubits i)) instrs;
+  Array.iter (fun q -> Hashtbl.replace used q ()) placement;
+  let qubit_map = Hashtbl.fold (fun q () acc -> q :: acc) used [] |> List.sort compare |> Array.of_list in
+  let device_to_compact = Hashtbl.create 16 in
+  Array.iteri (fun c q -> Hashtbl.replace device_to_compact q c) qubit_map;
+  let compact_instrs =
+    List.map (Qcir.Instr.map_qubits (Hashtbl.find device_to_compact)) instrs
+  in
+  let compact_circuit =
+    Qcir.Circuit.of_instrs (Array.length qubit_map) compact_instrs
+  in
+  let final_layout =
+    Array.map (Hashtbl.find device_to_compact) routed.final_layout
+  in
+  {
+    circuit = compact_circuit;
+    twoq_errors = Array.of_list errors;
+    qubit_map;
+    final_layout;
+    n_logical;
+    swap_count = routed.swap_count;
+    twoq_count = !twoq_count;
+    isa;
+  }
+
+let noise_model ~cal compiled =
+  {
+    Sim.Noisy.twoq_error =
+      (fun index _instr ->
+        assert (index >= 0 && index < Array.length compiled.twoq_errors);
+        compiled.twoq_errors.(index));
+    oneq_error = (fun q -> Device.Calibration.oneq_error cal compiled.qubit_map.(q));
+    readout_error = (fun q -> Device.Calibration.readout_error cal compiled.qubit_map.(q));
+    t1 = (fun q -> Device.Calibration.t1 cal compiled.qubit_map.(q));
+    t2 = (fun q -> Device.Calibration.t2 cal compiled.qubit_map.(q));
+    duration_1q = Device.Calibration.duration_1q cal;
+    duration_2q = Device.Calibration.duration_2q cal;
+  }
+
+(* Map a compact-space probability vector back to logical qubit order:
+   logical qubit l is read out at compact position final_layout(l);
+   unoccupied compact qubits (routing scratch) are marginalized out —
+   they carry no logical information. *)
+let logical_probabilities compiled probs =
+  let n_compact = Array.length compiled.qubit_map in
+  assert (Array.length probs = 1 lsl n_compact);
+  let nl = compiled.n_logical in
+  let out = Array.make (1 lsl nl) 0.0 in
+  Array.iteri
+    (fun idx p ->
+      let x = ref 0 in
+      for l = 0 to nl - 1 do
+        if (idx lsr compiled.final_layout.(l)) land 1 = 1 then x := !x lor (1 lsl l)
+      done;
+      out.(!x) <- out.(!x) +. p)
+    probs;
+  out

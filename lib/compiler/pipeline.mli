@@ -1,0 +1,46 @@
+(** End-to-end compilation: place, route, NuOp-decompose with noise
+    adaptivity across gate types. *)
+
+type options = {
+  nuop : Decompose.Nuop.options;
+  approximate : bool;
+  exact_threshold : float;
+  adaptive : bool;
+}
+
+val default_options : options
+
+type compiled = {
+  circuit : Qcir.Circuit.t;
+  twoq_errors : float array;
+  qubit_map : int array;
+  final_layout : int array;
+  n_logical : int;
+  swap_count : int;
+  twoq_count : int;
+  isa : Isa.t;
+}
+
+val decompose_on_edge :
+  options:options ->
+  cal:Device.Calibration.t ->
+  isa:Isa.t ->
+  edge:int * int ->
+  target:Linalg.Mat.t ->
+  Decompose.Nuop.t
+(** Best decomposition of one application unitary on a device edge across
+    the instruction set's gate types. *)
+
+val compile :
+  ?options:options ->
+  cal:Device.Calibration.t ->
+  isa:Isa.t ->
+  ?placement:int array ->
+  Qcir.Circuit.t ->
+  compiled
+
+val noise_model : cal:Device.Calibration.t -> compiled -> Sim.Noisy.noise_model
+
+val logical_probabilities : compiled -> float array -> float array
+(** Map compact-space output probabilities back to logical qubit order,
+    marginalizing routing scratch qubits. *)

@@ -1,0 +1,59 @@
+(* SWAP-insertion routing.
+
+   Greedy shortest-path router: logical qubits start at the placement;
+   before each two-qubit gate whose operands are not adjacent, SWAPs move
+   the first operand along a shortest path until adjacency.  The emitted
+   SWAPs are application-level gates — the decomposition stage lowers
+   them to hardware gates (1 gate when the instruction set has a native
+   SWAP, typically 3 otherwise), which is exactly the effect the paper's
+   R5/G7 sets exploit. *)
+
+type routed = {
+  circuit : Qcir.Circuit.t;  (** on device qubits, all 2Q gates adjacent *)
+  swap_count : int;
+  final_layout : int array;  (** logical -> device qubit after execution *)
+}
+
+let route ~topology ~placement circuit =
+  let n_logical = Qcir.Circuit.n_qubits circuit in
+  assert (Array.length placement = n_logical);
+  Array.iter
+    (fun p -> assert (p >= 0 && p < Device.Topology.n_qubits topology))
+    placement;
+  let layout = Array.copy placement in
+  (* device -> logical inverse map (-1 = unoccupied) *)
+  let inverse = Array.make (Device.Topology.n_qubits topology) (-1) in
+  Array.iteri (fun l p -> inverse.(p) <- l) layout;
+  let out = ref (Qcir.Circuit.empty (Device.Topology.n_qubits topology)) in
+  let swap_count = ref 0 in
+  let emit gate qs = out := Qcir.Circuit.add_gate !out gate qs in
+  let apply_swap pa pb =
+    emit Gates.Gate.swap [| pa; pb |];
+    incr swap_count;
+    let la = inverse.(pa) and lb = inverse.(pb) in
+    if la >= 0 then layout.(la) <- pb;
+    if lb >= 0 then layout.(lb) <- pa;
+    inverse.(pa) <- lb;
+    inverse.(pb) <- la
+  in
+  Qcir.Circuit.iter
+    (fun instr ->
+      let qs = Qcir.Instr.qubits instr in
+      match Array.length qs with
+      | 1 -> emit (Qcir.Instr.gate instr) [| layout.(qs.(0)) |]
+      | 2 ->
+        let la = qs.(0) and lb = qs.(1) in
+        if not (Device.Topology.are_adjacent topology layout.(la) layout.(lb)) then begin
+          (* walk la along a shortest path until it neighbours lb *)
+          let path =
+            Array.of_list (Device.Topology.shortest_path topology layout.(la) layout.(lb))
+          in
+          for i = 0 to Array.length path - 3 do
+            apply_swap path.(i) path.(i + 1)
+          done
+        end;
+        assert (Device.Topology.are_adjacent topology layout.(la) layout.(lb));
+        emit (Qcir.Instr.gate instr) [| layout.(la); layout.(lb) |]
+      | _ -> invalid_arg "Router.route: gates beyond two qubits unsupported")
+    circuit;
+  { circuit = !out; swap_count = !swap_count; final_layout = layout }

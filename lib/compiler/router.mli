@@ -1,0 +1,14 @@
+(** SWAP-insertion routing (greedy shortest-path). *)
+
+type routed = {
+  circuit : Qcir.Circuit.t;
+      (** on device qubits; every two-qubit gate acts on adjacent qubits *)
+  swap_count : int;
+  final_layout : int array;
+}
+
+val route :
+  topology:Device.Topology.t -> placement:int array -> Qcir.Circuit.t -> routed
+(** [route ~topology ~placement circuit] relabels logical qubits onto the
+    placement and inserts application-level SWAP gates where needed.
+    Raises on gates beyond two qubits. *)

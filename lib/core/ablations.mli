@@ -1,0 +1,3 @@
+(** Ablation studies for design decisions and extensions beyond Table II. *)
+
+val run : ?cfg:Config.t -> unit -> unit

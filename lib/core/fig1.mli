@@ -1,0 +1,3 @@
+(** Fig 1: framework block -> module map. *)
+
+val run : ?cfg:Config.t -> unit -> unit

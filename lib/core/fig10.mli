@@ -1,0 +1,3 @@
+(** Fig 10: Sycamore instruction-set reliability study. *)
+
+val run : ?cfg:Config.t -> unit -> unit

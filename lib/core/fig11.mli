@@ -1,0 +1,3 @@
+(** Fig 11: calibration overhead vs application performance. *)
+
+val run : ?cfg:Config.t -> unit -> unit

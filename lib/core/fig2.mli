@@ -1,0 +1,3 @@
+(** Fig 2: example NuOp decompositions (QV and QAOA unitaries). *)
+
+val run : ?cfg:Config.t -> unit -> unit

@@ -1,0 +1,3 @@
+(** Fig 3: Aspen-8 ring calibration table. *)
+
+val run : ?cfg:Config.t -> unit -> unit

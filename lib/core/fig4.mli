@@ -1,0 +1,3 @@
+(** Fig 4: the NuOp template circuit, rendered concretely. *)
+
+val run : ?cfg:Config.t -> unit -> unit

@@ -1,0 +1,68 @@
+(* Fig 5: noise-adaptive approximate decomposition walkthrough.
+
+   A 3-qubit circuit with two SU(4) gates placed on qubits [2,3,4] of the
+   Aspen-8 ring.  Qubit pair (2,3) favours CZ, pair (3,4) favours the XY
+   gate; the noise-adaptive pass picks a different hardware gate type per
+   edge and trades decomposition accuracy for fewer noisy gates. *)
+
+open Linalg
+
+let run ?(cfg = Config.default) () =
+  Report.heading "Fig 5: noise-adaptive approximate decomposition";
+  (* The paper's walkthrough numbers: on (2,3) CZ is the high-fidelity
+     gate (94%), on (3,4) the XY-family gate is (95%). *)
+  let cal = Device.Aspen8.ring_device () in
+  let isa = Compiler.Isa.make "CZ+sqrt_iSWAP" Gates.Gate_type.[ s3; s2 ] in
+  Device.Calibration.set_twoq_error cal (2, 3) Gates.Gate_type.s3 0.06;
+  Device.Calibration.set_twoq_error cal (2, 3) Gates.Gate_type.s2 0.10;
+  Device.Calibration.set_twoq_error cal (3, 4) Gates.Gate_type.s3 0.09;
+  Device.Calibration.set_twoq_error cal (3, 4) Gates.Gate_type.s2 0.05;
+  (* pick an illustrative unitary for which the adaptive choice actually
+     differs across the two edges, like the paper's Fig 2a example *)
+  let options =
+    { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop }
+  in
+  let choice edge u =
+    (Compiler.Pipeline.decompose_on_edge ~options ~cal ~isa ~edge ~target:u)
+      .Decompose.Nuop.gate_type
+  in
+  let rec find_example rng tries =
+    let u = Apps.Qv.random_unitary rng in
+    if tries = 0 then u
+    else if
+      Gates.Gate_type.equal (choice (2, 3) u) Gates.Gate_type.s3
+      && Gates.Gate_type.equal (choice (3, 4) u) Gates.Gate_type.s2
+    then u
+    else find_example rng (tries - 1)
+  in
+  let u = find_example (Rng.create (cfg.Config.seed + 4)) 40 in
+  let options =
+    { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop }
+  in
+  let describe edge =
+    let d =
+      Compiler.Pipeline.decompose_on_edge ~options ~cal ~isa ~edge ~target:u
+    in
+    let a, b = edge in
+    Printf.printf "qubits (%d,%d):" a b;
+    List.iter
+      (fun ty ->
+        Printf.printf "  %s fid=%.3f" (Gates.Gate_type.name ty)
+          (Device.Calibration.twoq_fidelity cal edge ty))
+      (Compiler.Isa.gate_types isa);
+    Printf.printf "\n  -> chose %s, %d applications, Fd=%.4f Fh=%.4f Fu=%.4f\n"
+      (Gates.Gate_type.name d.Decompose.Nuop.gate_type)
+      d.Decompose.Nuop.layers d.Decompose.Nuop.fd d.Decompose.Nuop.fh
+      (Decompose.Nuop.overall_fidelity d);
+    d
+  in
+  let d23 = describe (2, 3) in
+  let d34 = describe (3, 4) in
+  let exact =
+    Decompose.Cache.decompose_exact ~options:cfg.Config.nuop Gates.Gate_type.s3
+      ~target:u
+  in
+  Printf.printf
+    "\nExact decomposition would need %d CZ gates; the approximate pass uses\n\
+     %d+%d gates with higher overall fidelity — the Fig 5 effect.\n"
+    exact.Decompose.Nuop.layers d23.Decompose.Nuop.layers d34.Decompose.Nuop.layers

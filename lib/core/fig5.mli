@@ -1,0 +1,3 @@
+(** Fig 5: noise-adaptive approximate decomposition walkthrough. *)
+
+val run : ?cfg:Config.t -> unit -> unit

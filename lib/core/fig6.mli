@@ -1,0 +1,3 @@
+(** Fig 6: NuOp vs Cirq-equivalent baseline gate counts. *)
+
+val run : ?cfg:Config.t -> unit -> unit

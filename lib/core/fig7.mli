@@ -1,0 +1,3 @@
+(** Fig 7: exact vs approximate decomposition vs error rate. *)
+
+val run : ?cfg:Config.t -> unit -> unit

@@ -1,0 +1,3 @@
+(** Fig 8: expressivity heatmaps over the fSim parameter space. *)
+
+val run : ?cfg:Config.t -> unit -> unit

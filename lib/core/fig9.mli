@@ -1,0 +1,3 @@
+(** Fig 9: Aspen-8 instruction-set reliability study. *)
+
+val run : ?cfg:Config.t -> unit -> unit

@@ -1,0 +1,64 @@
+(* Plain-text table/series rendering shared by the experiment drivers
+   (the bench harness prints the same rows/series the paper plots). *)
+
+let heading title =
+  let line = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title line
+
+let subheading title = Printf.printf "\n-- %s --\n" title
+
+(* Column-aligned table. *)
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  List.iter (fun r -> assert (List.length r = cols)) rows;
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun c cell -> widths.(c) <- max widths.(c) (String.length cell)))
+    all;
+  let print_row r =
+    List.iteri
+      (fun c cell ->
+        let pad = widths.(c) - String.length cell in
+        Printf.printf "%s%s  " cell (String.make pad ' '))
+      r;
+    print_newline ()
+  in
+  print_row header;
+  List.iteri
+    (fun c _ -> Printf.printf "%s  " (String.make widths.(c) '-'))
+    header;
+  print_newline ();
+  List.iter print_row rows
+
+let bar ?(width = 40) ~max_value value =
+  let frac = if max_value <= 0.0 then 0.0 else Float.max 0.0 (value /. max_value) in
+  let n = int_of_float (Float.round (frac *. float_of_int width)) in
+  let n = min width n in
+  String.make n '#' ^ String.make (width - n) ' '
+
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+let f4 v = Printf.sprintf "%.4f" v
+
+(* One heatmap cell: mean gate count rendered as a single digit (counts
+   above 9 are clamped). *)
+let heat_digit v =
+  if Float.is_nan v then "." else string_of_int (min 9 (int_of_float (Float.round v)))
+
+let heatmap ~theta_axis ~phi_axis ~cell =
+  (* rows: theta descending so the origin is bottom-left like the paper *)
+  List.iter
+    (fun theta ->
+      Printf.printf "%5.2f | " theta;
+      List.iter (fun phi -> Printf.printf "%s " (heat_digit (cell ~theta ~phi))) phi_axis;
+      print_newline ())
+    (List.rev theta_axis);
+  Printf.printf "      +-%s\n" (String.make (2 * List.length phi_axis) '-');
+  Printf.printf "        phi: %.2f .. %.2f (theta on y)\n"
+    (List.hd phi_axis)
+    (List.nth phi_axis (List.length phi_axis - 1))
+
+let timer () =
+  let t0 = Sys.time () in
+  fun () -> Sys.time () -. t0

@@ -1,0 +1,18 @@
+(** Plain-text table/series rendering for the experiment drivers. *)
+
+val heading : string -> unit
+val subheading : string -> unit
+val table : header:string list -> string list list -> unit
+val bar : ?width:int -> max_value:float -> float -> string
+val f2 : float -> string
+val f3 : float -> string
+val f4 : float -> string
+val heat_digit : float -> string
+
+val heatmap :
+  theta_axis:float list ->
+  phi_axis:float list ->
+  cell:(theta:float -> phi:float -> float) ->
+  unit
+
+val timer : unit -> unit -> float

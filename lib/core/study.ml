@@ -1,0 +1,86 @@
+(* Shared machinery for the instruction-set reliability studies
+   (Figs 7, 9, 10): compile a benchmark suite for an instruction set on a
+   device and measure the paper's metric. *)
+
+type metric =
+  | Hop  (** heavy-output probability (QV) *)
+  | Xed  (** cross-entropy difference (QAOA) *)
+  | Xeb_fidelity  (** normalized linear XEB (FH) *)
+  | State_fidelity  (** <psi_ideal | rho | psi_ideal> (QFT success) *)
+
+let metric_name = function
+  | Hop -> "HOP"
+  | Xed -> "XED"
+  | Xeb_fidelity -> "XEB fid"
+  | State_fidelity -> "success"
+
+type result = {
+  isa_name : string;
+  mean_metric : float;
+  mean_twoq : float;  (** mean hardware two-qubit gates per circuit *)
+  mean_swaps : float;
+}
+
+(* Evaluate one circuit; returns (metric value, 2q count, swaps). *)
+let evaluate_circuit ?(options = Compiler.Pipeline.default_options) ~cal ~isa ~metric
+    circuit =
+  let n = Qcir.Circuit.n_qubits circuit in
+  let placement =
+    match Compiler.Mapping.best_line cal isa n with
+    | Some p -> p
+    | None -> invalid_arg "Study.evaluate_circuit: no placement"
+  in
+  let compiled = Compiler.Pipeline.compile ~options ~cal ~isa ~placement circuit in
+  let nm = Compiler.Pipeline.noise_model ~cal compiled in
+  let value =
+    match metric with
+    | Hop | Xed | Xeb_fidelity ->
+      let ideal = Sim.State.probabilities (Sim.State.run_circuit circuit) in
+      let noisy =
+        Compiler.Pipeline.logical_probabilities compiled
+          (Sim.Noisy.output_probabilities nm compiled.circuit)
+      in
+      (match metric with
+      | Hop -> Metrics.Hop.probability ~ideal ~noisy
+      | Xed -> Metrics.Xed.difference ~ideal ~noisy
+      | Xeb_fidelity -> Metrics.Xeb.normalized_fidelity ~ideal ~noisy
+      | State_fidelity -> assert false)
+    | State_fidelity ->
+      (* exact-compiled reference shares placement and routing, so its
+         noiseless state is the logical intent in the compact space *)
+      let exact_options =
+        { options with approximate = false; exact_threshold = 1.0 -. 1e-8 }
+      in
+      let reference =
+        Compiler.Pipeline.compile ~options:exact_options ~cal ~isa ~placement circuit
+      in
+      let ideal_state = Sim.State.run_circuit reference.circuit in
+      let rho = Sim.Noisy.run nm compiled.circuit in
+      Sim.Density.fidelity_with_pure rho ideal_state
+  in
+  (value, compiled.twoq_count, compiled.swap_count)
+
+let evaluate_suite ?options ~cal ~isa ~metric circuits =
+  assert (circuits <> []);
+  let n = float_of_int (List.length circuits) in
+  let sum_m, sum_g, sum_s =
+    List.fold_left
+      (fun (sm, sg, ss) circuit ->
+        let m, g, s = evaluate_circuit ?options ~cal ~isa ~metric circuit in
+        (sm +. m, sg + g, ss + s))
+      (0.0, 0, 0) circuits
+  in
+  {
+    isa_name = Compiler.Isa.name isa;
+    mean_metric = sum_m /. n;
+    mean_twoq = float_of_int sum_g /. n;
+    mean_swaps = float_of_int sum_s /. n;
+  }
+
+let result_row r =
+  [ r.isa_name; Report.f4 r.mean_metric; Report.f2 r.mean_twoq; Report.f2 r.mean_swaps ]
+
+let print_results ~metric results =
+  Report.table
+    ~header:[ "ISA"; metric_name metric; "2Q gates"; "SWAPs" ]
+    (List.map result_row results)

@@ -1,0 +1,32 @@
+(** Shared machinery for the instruction-set reliability studies. *)
+
+type metric = Hop | Xed | Xeb_fidelity | State_fidelity
+
+val metric_name : metric -> string
+
+type result = {
+  isa_name : string;
+  mean_metric : float;
+  mean_twoq : float;
+  mean_swaps : float;
+}
+
+val evaluate_circuit :
+  ?options:Compiler.Pipeline.options ->
+  cal:Device.Calibration.t ->
+  isa:Compiler.Isa.t ->
+  metric:metric ->
+  Qcir.Circuit.t ->
+  float * int * int
+(** (metric value, two-qubit gate count, swap count) for one circuit. *)
+
+val evaluate_suite :
+  ?options:Compiler.Pipeline.options ->
+  cal:Device.Calibration.t ->
+  isa:Compiler.Isa.t ->
+  metric:metric ->
+  Qcir.Circuit.t list ->
+  result
+
+val result_row : result -> string list
+val print_results : metric:metric -> result list -> unit

@@ -1,0 +1,30 @@
+(* Table I: the vendor gate families and example gate types. *)
+
+open Linalg
+
+let print_unitary name m =
+  Printf.printf "\n%s =\n%s\n" name (Mat.to_string m)
+
+let run ?cfg:(_ = Config.default) () =
+  Report.heading "Table I: current and anticipated two-qubit gate types";
+  print_unitary "CZ = fSim(0, pi)" Gates.Twoq.cz;
+  print_unitary "XY(pi) (Rigetti current)" (Gates.Twoq.xy Float.pi);
+  print_unitary "XY(theta=0.7) (Rigetti anticipated family member)" (Gates.Twoq.xy 0.7);
+  print_unitary "SYC = fSim(pi/2, pi/6) (Google current)" Gates.Twoq.syc;
+  print_unitary "sqrt(iSWAP) = fSim(pi/4, 0) (Google current)" Gates.Twoq.sqrt_iswap;
+  print_unitary "fSim(theta=0.6, phi=1.1) (Google anticipated family member)"
+    (Gates.Twoq.fsim 0.6 1.1);
+  Report.subheading "modelled fidelities";
+  Report.table
+    ~header:[ "vendor"; "gate"; "fidelity model" ]
+    [
+      [ "Rigetti"; "CZ / XY(pi)"; "per-edge table, 91.0-98.1% (Fig 3)" ];
+      [ "Rigetti"; "XY(theta)"; "uniform 95-99% (Sec VI)" ];
+      [ "Google"; "SYC & other fSim types"; "N(mu=0.62%, sigma=0.24%) error (Sec VI)" ];
+    ];
+  Report.subheading "family identity checks";
+  let id1 =
+    Decompose.Weyl.locally_equivalent (Gates.Twoq.xy 0.9) (Gates.Twoq.fsim 0.45 0.0)
+  in
+  let id2 = Decompose.Weyl.locally_equivalent Gates.Twoq.cz (Gates.Twoq.fsim 0.0 Float.pi) in
+  Printf.printf "XY(theta) ~ fSim(theta/2, 0): %b\nCZ = fSim(0, pi): %b\n" id1 id2

@@ -1,0 +1,3 @@
+(** Table I: gate families, fidelity models and identity checks. *)
+
+val run : ?cfg:Config.t -> unit -> unit

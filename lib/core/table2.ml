@@ -1,0 +1,15 @@
+(* Table II: the instruction sets studied. *)
+
+let run ?cfg:(_ = Config.default) () =
+  Report.heading "Table II: instruction sets studied";
+  let row isa =
+    [
+      Compiler.Isa.name isa;
+      string_of_int (Compiler.Isa.size isa);
+      String.concat ", "
+        (List.map Gates.Gate_type.name (Compiler.Isa.gate_types isa));
+    ]
+  in
+  Report.table
+    ~header:[ "set"; "#2Q types"; "gate types" ]
+    (List.map row Compiler.Isa.all)

@@ -1,0 +1,3 @@
+(** Table II: the instruction sets studied. *)
+
+val run : ?cfg:Config.t -> unit -> unit

@@ -1,0 +1,39 @@
+(* Decomposition memoization.
+
+   The expensive object is the per-layer fidelity curve of a
+   (unitary, gate type) pair — it is independent of hardware error rates,
+   so exact decompositions, approximate decompositions at any error rate,
+   and noise-adaptive selections across instruction sets all share one
+   cached curve.  Keys are (unitary digest, gate-type name, max-layers).
+   A size cap evicts wholesale; per-experiment working sets are small. *)
+
+open Linalg
+
+let max_entries = 100_000
+
+let table : (string, (int * float array * float) array) Hashtbl.t = Hashtbl.create 4096
+
+let make_key ~target ~gate_type ~options =
+  Printf.sprintf "%s|%s|%d-%d"
+    (Digest.to_hex (Mat.digest target))
+    (Gates.Gate_type.name gate_type)
+    options.Nuop.min_layers options.Nuop.max_layers
+
+let fd_curve ?(options = Nuop.default_options) gate_type ~target =
+  let key = make_key ~target ~gate_type ~options in
+  match Hashtbl.find_opt table key with
+  | Some curve -> curve
+  | None ->
+    let curve = Nuop.fd_curve ~options gate_type ~target in
+    if Hashtbl.length table >= max_entries then Hashtbl.reset table;
+    Hashtbl.replace table key curve;
+    curve
+
+let decompose_exact ?(options = Nuop.default_options) ?threshold gate_type ~target =
+  Nuop.exact_of_curve ?threshold gate_type (fd_curve ~options gate_type ~target)
+
+let decompose_approx ?(options = Nuop.default_options) ~fh gate_type ~target =
+  Nuop.approx_of_curve ~fh gate_type (fd_curve ~options gate_type ~target)
+
+let clear () = Hashtbl.reset table
+let size () = Hashtbl.length table

@@ -1,0 +1,21 @@
+(** Memoized NuOp decompositions.
+
+    Caches the per-layer fidelity curve of each (unitary, gate type)
+    pair; both decomposition modes and all instruction sets share it. *)
+
+open Linalg
+
+val fd_curve :
+  ?options:Nuop.options ->
+  Gates.Gate_type.t ->
+  target:Mat.t ->
+  (int * float array * float) array
+
+val decompose_exact :
+  ?options:Nuop.options -> ?threshold:float -> Gates.Gate_type.t -> target:Mat.t -> Nuop.t
+
+val decompose_approx :
+  ?options:Nuop.options -> fh:(int -> float) -> Gates.Gate_type.t -> target:Mat.t -> Nuop.t
+
+val clear : unit -> unit
+val size : unit -> int

@@ -1,0 +1,178 @@
+(* NuOp template circuits (Fig 4 of the paper).
+
+   A template with [i] layers is
+       L_i . G_i . L_{i-1} . G_{i-1} ... G_1 . L_0
+   where each L_k = U3(a,b,l) (x) U3(a',b',l') is a pair of arbitrary
+   single-qubit rotations (6 angles) and each G_k is the target hardware
+   two-qubit gate.  For a fixed gate type the G_k are constant; for a
+   continuous family each G_k carries its own free angles, appended after
+   the single-qubit angles in the parameter vector.
+
+   Parameter layout: [ 6*(i+1) single-qubit angles | i * pc gate angles ]
+   with pc = Gate_type.param_count.
+
+   Evaluation is allocation-free: all scratch matrices live in the
+   workspace and are reused across objective evaluations (BFGS calls this
+   tens of thousands of times per decomposition). *)
+
+open Linalg
+
+type t = {
+  gate_type : Gates.Gate_type.t;
+  layers : int;
+  gate_params : int;  (* free angles per two-qubit layer *)
+  fixed_gate : Mat.t option;  (* the constant gate matrix, if fixed *)
+  local : Mat.t;  (* 4x4 scratch: U3 (x) U3 *)
+  gate : Mat.t;  (* 4x4 scratch: family gate instance *)
+  acc : Mat.t;  (* running product *)
+  tmp : Mat.t;  (* matmul destination *)
+}
+
+let create gate_type ~layers =
+  if layers < 0 then invalid_arg "Template.create: negative layer count";
+  let gate_params = Gates.Gate_type.param_count gate_type in
+  let fixed_gate =
+    match gate_type with
+    | Gates.Gate_type.Fixed { unitary; _ } -> Some unitary
+    | Gates.Gate_type.Fsim_family | Gates.Gate_type.Xy_family
+    | Gates.Gate_type.Cphase_family ->
+      None
+  in
+  {
+    gate_type;
+    layers;
+    gate_params;
+    fixed_gate;
+    local = Mat.create 4 4;
+    gate = Mat.create 4 4;
+    acc = Mat.create 4 4;
+    tmp = Mat.create 4 4;
+  }
+
+let gate_type t = t.gate_type
+let layers t = t.layers
+
+let param_count t = (6 * (t.layers + 1)) + (t.layers * t.gate_params)
+
+(* Write U3(a,b,l) (x) U3(a',b',l') into [dst] (4x4) without allocating.
+   U3 convention matches Oneq.u3. *)
+let write_local_layer dst a b l a' b' l' =
+  let d = Mat.unsafe_data dst in
+  (* first qubit U3 entries *)
+  let ca = Float.cos (a /. 2.0) and sa = Float.sin (a /. 2.0) in
+  let u00r = ca and u00i = 0.0 in
+  let u01r = -.sa *. Float.cos l and u01i = -.sa *. Float.sin l in
+  let u10r = sa *. Float.cos b and u10i = sa *. Float.sin b in
+  let u11r = ca *. Float.cos (b +. l) and u11i = ca *. Float.sin (b +. l) in
+  (* second qubit U3 entries *)
+  let ca' = Float.cos (a' /. 2.0) and sa' = Float.sin (a' /. 2.0) in
+  let v00r = ca' and v00i = 0.0 in
+  let v01r = -.sa' *. Float.cos l' and v01i = -.sa' *. Float.sin l' in
+  let v10r = sa' *. Float.cos b' and v10i = sa' *. Float.sin b' in
+  let v11r = ca' *. Float.cos (b' +. l') and v11i = ca' *. Float.sin (b' +. l') in
+  (* kron: dst[(2*iu+iv)*4 + (2*ju+jv)] = u[iu,ju] * v[iv,jv] *)
+  let set i j re im =
+    let k = 2 * ((i * 4) + j) in
+    d.(k) <- re;
+    d.(k + 1) <- im
+  in
+  let uu = [| (u00r, u00i); (u01r, u01i); (u10r, u10i); (u11r, u11i) |] in
+  let vv = [| (v00r, v00i); (v01r, v01i); (v10r, v10i); (v11r, v11i) |] in
+  for iu = 0 to 1 do
+    for ju = 0 to 1 do
+      let ur, ui = uu.((iu * 2) + ju) in
+      for iv = 0 to 1 do
+        for jv = 0 to 1 do
+          let vr, vi = vv.((iv * 2) + jv) in
+          set ((2 * iu) + iv) ((2 * ju) + jv) ((ur *. vr) -. (ui *. vi))
+            ((ur *. vi) +. (ui *. vr))
+        done
+      done
+    done
+  done
+
+(* Write the family gate instance for layer [k] into [dst]. *)
+let write_gate t dst params k =
+  match t.gate_type with
+  | Gates.Gate_type.Fixed _ -> assert false
+  | Gates.Gate_type.Cphase_family ->
+    let phi = params.((6 * (t.layers + 1)) + k) in
+    let d = Mat.unsafe_data dst in
+    Array.fill d 0 32 0.0;
+    d.(0) <- 1.0;
+    d.(2 * 5) <- 1.0;
+    d.(2 * 10) <- 1.0;
+    d.(2 * 15) <- Float.cos phi;
+    d.((2 * 15) + 1) <- -.Float.sin phi
+  | Gates.Gate_type.Xy_family ->
+    let theta = params.((6 * (t.layers + 1)) + k) in
+    let d = Mat.unsafe_data dst in
+    Array.fill d 0 32 0.0;
+    let ct = Float.cos (theta /. 2.0) and st = Float.sin (theta /. 2.0) in
+    d.(0) <- 1.0;
+    (* (1,1) *)
+    d.(2 * 5) <- ct;
+    (* (1,2) = i sin *)
+    d.((2 * 6) + 1) <- st;
+    (* (2,1) *)
+    d.((2 * 9) + 1) <- st;
+    d.(2 * 10) <- ct;
+    d.(2 * 15) <- 1.0
+  | Gates.Gate_type.Fsim_family ->
+    let base = (6 * (t.layers + 1)) + (2 * k) in
+    let theta = params.(base) and phi = params.(base + 1) in
+    let d = Mat.unsafe_data dst in
+    Array.fill d 0 32 0.0;
+    let ct = Float.cos theta and st = Float.sin theta in
+    d.(0) <- 1.0;
+    d.(2 * 5) <- ct;
+    d.((2 * 6) + 1) <- -.st;
+    d.((2 * 9) + 1) <- -.st;
+    d.(2 * 10) <- ct;
+    d.(2 * 15) <- Float.cos phi;
+    d.((2 * 15) + 1) <- -.Float.sin phi
+
+(* Evaluate the template unitary.  The returned matrix is the workspace
+   accumulator: valid only until the next [evaluate] call. *)
+let evaluate t params =
+  assert (Array.length params = param_count t);
+  write_local_layer t.acc params.(0) params.(1) params.(2) params.(3) params.(4)
+    params.(5);
+  for k = 1 to t.layers do
+    (* apply gate k *)
+    let gmat =
+      match t.fixed_gate with
+      | Some g -> g
+      | None ->
+        write_gate t t.gate params (k - 1);
+        t.gate
+    in
+    Mat.mul_into ~dst:t.tmp gmat t.acc;
+    (* apply local layer k *)
+    let base = 6 * k in
+    write_local_layer t.local params.(base) params.(base + 1) params.(base + 2)
+      params.(base + 3)
+      params.(base + 4)
+      params.(base + 5);
+    Mat.mul_into ~dst:t.acc t.local t.tmp
+  done;
+  t.acc
+
+(* Decomposition fidelity F_d = |Tr(U_d^dag U_t)| / 4 (Eq 1; the modulus
+   quotients out the global phase). *)
+let fidelity t params ~target =
+  let u_d = evaluate t params in
+  Complex.norm (Mat.hs_inner u_d target) /. 4.0
+
+let infidelity t params ~target = 1.0 -. fidelity t params ~target
+
+(* Extract the gate angles used by layer [k] (family types only). *)
+let gate_angles t params k =
+  assert (k >= 1 && k <= t.layers);
+  match t.gate_type with
+  | Gates.Gate_type.Fixed _ -> [||]
+  | Gates.Gate_type.Xy_family | Gates.Gate_type.Cphase_family ->
+    [| params.((6 * (t.layers + 1)) + (k - 1)) |]
+  | Gates.Gate_type.Fsim_family ->
+    let base = (6 * (t.layers + 1)) + (2 * (k - 1)) in
+    [| params.(base); params.(base + 1) |]

@@ -1,0 +1,216 @@
+(* Weyl-chamber / local-equivalence invariants of two-qubit unitaries.
+
+   Used by the Cirq-equivalent baseline (minimal CNOT/CZ counts via the
+   Shende-Bullock-Markov criterion) and by tests that verify gate-family
+   identities such as XY(theta) ~ fSim(theta/2, 0).
+
+   For u in SU(4) define gamma(u) = u (Y(x)Y) u^T (Y(x)Y).  SBM
+   (quant-ph/0308045) prove u needs
+     0 CNOTs iff spec(gamma) = {1,1,1,1} or {-1,-1,-1,-1},
+     1 CNOT  iff spec(gamma) = {i,i,-i,-i},
+     2 CNOTs iff tr(gamma) is real,
+     3 CNOTs otherwise.
+   The 4th-root-of-det normalization leaves gamma defined up to a global
+   sign, under which all four criteria are invariant (trace realness up to
+   sign; we test Im(tr)/|tr| ~ 0 or tr ~ 0).
+
+   Makhlin's invariants (G1 complex, G2 real) computed in the magic basis
+   give the local-equivalence fingerprint. *)
+
+open Linalg
+
+let c re im = { Complex.re; im }
+let r x = c x 0.0
+
+(* Y (x) Y in the computational basis. *)
+let yy =
+  Mat.of_rows
+    [
+      [ r 0.0; r 0.0; r 0.0; r (-1.0) ];
+      [ r 0.0; r 0.0; r 1.0; r 0.0 ];
+      [ r 0.0; r 1.0; r 0.0; r 0.0 ];
+      [ r (-1.0); r 0.0; r 0.0; r 0.0 ];
+    ]
+
+(* The magic basis (Kraus-Cirac), columns are the Bell-like states. *)
+let magic_basis =
+  let s = 1.0 /. Float.sqrt 2.0 in
+  Mat.of_rows
+    [
+      [ c s 0.0; r 0.0; r 0.0; c 0.0 s ];
+      [ r 0.0; c 0.0 s; c s 0.0; r 0.0 ];
+      [ r 0.0; c 0.0 s; c (-.s) 0.0; r 0.0 ];
+      [ c s 0.0; r 0.0; r 0.0; c 0.0 (-.s) ];
+    ]
+
+(* u / det(u)^{1/4}: lands in SU(4) (branch choice is harmless, see
+   module comment). *)
+let normalize_su4 u =
+  assert (Mat.rows u = 4 && Mat.cols u = 4);
+  let d = Mat.det u in
+  let phase = Complex.arg d /. 4.0 in
+  let mag = Complex.norm d in
+  assert (Float.abs (mag -. 1.0) < 1e-6);
+  Mat.scale (Cplx.cis (-.phase)) u
+
+let gamma u =
+  let su = normalize_su4 u in
+  Mat.mul (Mat.mul su yy) (Mat.mul (Mat.transpose su) yy)
+
+let gamma_spectrum u = Eigen.eigenvalues (gamma u)
+
+let close a b = Complex.norm (Complex.sub a b) < 1e-6
+
+(* Count how many spectrum elements match each target multiset entry. *)
+let spectrum_matches spectrum targets =
+  let used = Array.make (Array.length spectrum) false in
+  Array.for_all
+    (fun t ->
+      let found = ref false in
+      Array.iteri
+        (fun k s ->
+          if (not !found) && (not used.(k)) && close s t then begin
+            used.(k) <- true;
+            found := true
+          end)
+        spectrum;
+      !found)
+    targets
+
+let cnot_count u =
+  let g = gamma u in
+  let spectrum = Eigen.eigenvalues g in
+  let one = Complex.one in
+  let mone = r (-1.0) in
+  let pi_ = c 0.0 1.0 and mi = c 0.0 (-1.0) in
+  if
+    spectrum_matches spectrum [| one; one; one; one |]
+    || spectrum_matches spectrum [| mone; mone; mone; mone |]
+  then 0
+  else if spectrum_matches spectrum [| pi_; pi_; mi; mi |] then 1
+  else begin
+    let tr = Mat.trace g in
+    let mag = Complex.norm tr in
+    if mag < 1e-6 || Float.abs tr.im /. Float.max mag 1e-12 < 1e-6 then 2 else 3
+  end
+
+(* Makhlin invariants: with m = M^T M, M = B^dag u B (u in SU(4)),
+   G1 = tr^2(m)/16, G2 = (tr^2(m) - tr(m^2))/4. *)
+let makhlin_invariants u =
+  let su = normalize_su4 u in
+  let m_magic = Mat.mul (Mat.dagger magic_basis) (Mat.mul su magic_basis) in
+  let m = Mat.mul (Mat.transpose m_magic) m_magic in
+  let tr = Mat.trace m in
+  let tr2 = Complex.mul tr tr in
+  let tr_m2 = Mat.trace (Mat.mul m m) in
+  let g1 = Cplx.scale (1.0 /. 16.0) tr2 in
+  let g2c = Cplx.scale 0.25 (Complex.sub tr2 tr_m2) in
+  assert (Float.abs g2c.im < 1e-6);
+  (g1, g2c.re)
+
+let locally_equivalent ?(eps = 1e-6) u v =
+  let g1u, g2u = makhlin_invariants u and g1v, g2v = makhlin_invariants v in
+  Complex.norm (Complex.sub g1u g1v) < eps && Float.abs (g2u -. g2v) < eps
+
+let is_local u = cnot_count u = 0
+
+(* ---------- Weyl-chamber coordinates ---------- *)
+
+(* The canonical two-qubit gate N(c1, c2, c3) = exp(i(c1 XX + c2 YY + c3 ZZ))
+   in the computational basis (Kraus-Cirac normal form). *)
+let canonical_gate c1 c2 c3 =
+  let e3 = Cplx.cis c3 and em3 = Cplx.cis (-.c3) in
+  let cm = Float.cos (c1 -. c2) and sm = Float.sin (c1 -. c2) in
+  let cp = Float.cos (c1 +. c2) and sp = Float.sin (c1 +. c2) in
+  let i_ = Complex.i in
+  let z = Complex.zero in
+  Mat.of_rows
+    [
+      [ Cplx.scale cm e3; z; z; Complex.mul i_ (Cplx.scale sm e3) ];
+      [ z; Cplx.scale cp em3; Complex.mul i_ (Cplx.scale sp em3); z ];
+      [ z; Complex.mul i_ (Cplx.scale sp em3); Cplx.scale cp em3; z ];
+      [ Complex.mul i_ (Cplx.scale sm e3); z; z; Cplx.scale cm e3 ];
+    ]
+
+(* Fold an angle into (-pi/2, pi/2]. *)
+let fold_half_pi x =
+  let y = Float.rem x Float.pi in
+  let y = if y > Float.pi /. 2.0 then y -. Float.pi else y in
+  if y <= -.Float.pi /. 2.0 then y +. Float.pi else y
+
+(* Extract a verified representative (c1, c2, c3) of the unitary's
+   local-equivalence class, with c1 >= c2 >= |c3| and c1, c2 in
+   [0, pi/2].  The gamma spectrum gives the eigenphases
+   2(+-c1 +- c2 +- c3) up to a global sign and the choice of which phase
+   carries all minus signs; candidates are enumerated and checked
+   against the Makhlin invariants, so the result is provably in the
+   right class.  Raises [Not_found] if no candidate verifies (does not
+   happen for unitaries; guarded for robustness). *)
+let coordinates u =
+  let spectrum = gamma_spectrum u in
+  let base_phases = Array.map Complex.arg spectrum in
+  let normalize x =
+    let y = Float.rem (x +. Float.pi) (2.0 *. Float.pi) in
+    let y = if y <= 0.0 then y +. (2.0 *. Float.pi) else y in
+    y -. Float.pi
+  in
+  let candidates = ref [] in
+  List.iter
+    (fun shift ->
+      let th = Array.map (fun p -> normalize (p +. shift)) base_phases in
+      (* force the phase sum to 0 (mod 2pi residues from branch cuts) *)
+      let sum = Array.fold_left ( +. ) 0.0 th in
+      let m = int_of_float (Float.round (sum /. (2.0 *. Float.pi))) in
+      if m <> 0 then begin
+        (* subtract 2pi from the m largest (or add to the m smallest) *)
+        let idx = Array.init 4 Fun.id in
+        Array.sort (fun a b -> compare th.(b) th.(a)) idx;
+        if m > 0 then
+          for k = 0 to min 3 (m - 1) do
+            th.(idx.(k)) <- th.(idx.(k)) -. (2.0 *. Float.pi)
+          done
+        else
+          for k = 0 to min 3 (-m - 1) do
+            th.(idx.(3 - k)) <- th.(idx.(3 - k)) +. (2.0 *. Float.pi)
+          done
+      end;
+      let e = Array.map (fun t -> t /. 2.0) th in
+      for j4 = 0 to 3 do
+        let rest = Array.of_list (List.filteri (fun k _ -> k <> j4) (Array.to_list e)) in
+        let raw =
+          [|
+            (rest.(0) +. rest.(1)) /. 2.0;
+            (rest.(0) +. rest.(2)) /. 2.0;
+            (rest.(1) +. rest.(2)) /. 2.0;
+          |]
+        in
+        (* sign patterns and half-pi folds *)
+        for signs = 0 to 7 do
+          let c =
+            Array.mapi
+              (fun k v -> fold_half_pi (if (signs lsr k) land 1 = 1 then -.v else v))
+              raw
+          in
+          let abs_sorted = Array.map Float.abs c in
+          Array.sort (fun a b -> compare b a) abs_sorted;
+          (* keep c3's sign information via the product sign *)
+          let sign3 = if c.(0) *. c.(1) *. c.(2) < 0.0 then -1.0 else 1.0 in
+          candidates :=
+            (abs_sorted.(0), abs_sorted.(1), sign3 *. abs_sorted.(2)) :: !candidates
+        done
+      done)
+    [ 0.0; Float.pi ];
+  let distinct =
+    List.sort_uniq
+      (fun (a1, a2, a3) (b1, b2, b3) ->
+        compare
+          (Float.round (a1 *. 1e9), Float.round (a2 *. 1e9), Float.round (a3 *. 1e9))
+          (Float.round (b1 *. 1e9), Float.round (b2 *. 1e9), Float.round (b3 *. 1e9)))
+      !candidates
+  in
+  let verified =
+    List.find_opt
+      (fun (c1, c2, c3) -> locally_equivalent ~eps:1e-5 (canonical_gate c1 c2 c3) u)
+      distinct
+  in
+  match verified with Some c -> c | None -> raise Not_found

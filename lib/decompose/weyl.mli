@@ -1,0 +1,34 @@
+(** Local-equivalence invariants of two-qubit unitaries.
+
+    Shende-Bullock-Markov minimal CNOT counts and Makhlin invariants,
+    computed with the from-scratch eigensolver. *)
+
+open Linalg
+
+val magic_basis : Mat.t
+val normalize_su4 : Mat.t -> Mat.t
+
+val gamma : Mat.t -> Mat.t
+(** gamma(u) = u (Y(x)Y) u^T (Y(x)Y) on the SU(4)-normalized input. *)
+
+val gamma_spectrum : Mat.t -> Complex.t array
+
+val cnot_count : Mat.t -> int
+(** Minimal number of CNOT (equivalently CZ) gates needed to implement
+    the unitary exactly, in {0, 1, 2, 3}. *)
+
+val makhlin_invariants : Mat.t -> Complex.t * float
+(** (G1, G2): equal invariants iff the unitaries are equal up to
+    single-qubit rotations. *)
+
+val locally_equivalent : ?eps:float -> Mat.t -> Mat.t -> bool
+val is_local : Mat.t -> bool
+
+val canonical_gate : float -> float -> float -> Mat.t
+(** N(c1, c2, c3) = exp(i(c1 XX + c2 YY + c3 ZZ)), the Kraus-Cirac
+    canonical form. *)
+
+val coordinates : Mat.t -> float * float * float
+(** A verified representative (c1 >= c2 >= |c3|) of the unitary's
+    local-equivalence class: [canonical_gate] of the result is locally
+    equivalent to the input. *)

@@ -1,0 +1,22 @@
+(** Rigetti Aspen-8 device model (first 8-qubit ring of the device).
+
+    Per-edge CZ / XY(pi) fidelities are synthesized to match Fig 3's
+    spread; arbitrary XY(theta) types draw uniformly from the 95-99%
+    fidelity band the paper models. *)
+
+val n_ring : int
+val t1_seconds : float
+val t2_seconds : float
+val duration_1q : float
+val duration_2q : float
+val oneq_error_rate : float
+val readout_error_rate : float
+
+val default_types : Gates.Gate_type.t list
+(** Gate types populated by default: the XY-family members of Table II's
+    R-sets plus CZ, SWAP, XY(pi). *)
+
+val ring_device : ?seed:int -> ?types:Gates.Gate_type.t list -> unit -> Calibration.t
+
+val fidelity_table : unit -> ((int * int) * float * float) list
+(** The Fig 3 table: edge, CZ fidelity, XY(pi) fidelity. *)

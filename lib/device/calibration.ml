@@ -1,0 +1,124 @@
+(* Per-device calibration data: gate fidelities, coherence times and
+   durations.
+
+   Two-qubit fidelities are keyed by (canonical edge, gate-type name);
+   continuous families are served by a per-edge error function that may
+   depend on the family angles.  This is the data NuOp's noise-adaptive
+   mode consumes (Sec V-B). *)
+
+type t = {
+  topology : Topology.t;
+  oneq_error : float array;  (** per-qubit single-qubit gate error rate *)
+  readout_error : float array;
+  t1 : float array;  (** seconds *)
+  t2 : float array;  (** seconds *)
+  duration_1q : float;  (** seconds *)
+  duration_2q : float;  (** seconds *)
+  twoq_error : (int * int * string, float) Hashtbl.t;
+  family_error : (int * int) -> float array -> float;
+      (** error rate when a continuous-family gate at the given angles is
+          used on an edge *)
+  family_error_scale : float;
+      (** multiplier applied to [family_error] (Fig 10's 1x/1.5x/2x/2.5x
+          continuous-set degradation study) *)
+}
+
+let make ~topology ~oneq_error ~readout_error ~t1 ~t2 ~duration_1q ~duration_2q
+    ~family_error ?(family_error_scale = 1.0) () =
+  let n = Topology.n_qubits topology in
+  assert (Array.length oneq_error = n);
+  assert (Array.length readout_error = n);
+  assert (Array.length t1 = n && Array.length t2 = n);
+  {
+    topology;
+    oneq_error;
+    readout_error;
+    t1;
+    t2;
+    duration_1q;
+    duration_2q;
+    twoq_error = Hashtbl.create 64;
+    family_error;
+    family_error_scale;
+  }
+
+let topology t = t.topology
+
+let set_twoq_error t edge gate_type err =
+  let a, b = Topology.canonical edge in
+  assert (err >= 0.0 && err < 1.0);
+  Hashtbl.replace t.twoq_error (a, b, Gates.Gate_type.name gate_type) err
+
+let clamp_error e = Float.max 1e-6 (Float.min 0.5 e)
+
+let twoq_error t edge gate_type =
+  let a, b = Topology.canonical edge in
+  match gate_type with
+  | Gates.Gate_type.Fixed _ -> begin
+    match Hashtbl.find_opt t.twoq_error (a, b, Gates.Gate_type.name gate_type) with
+    | Some e -> e
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Calibration.twoq_error: no data for %s on (%d,%d)"
+           (Gates.Gate_type.name gate_type) a b)
+  end
+  | Gates.Gate_type.Fsim_family | Gates.Gate_type.Xy_family
+  | Gates.Gate_type.Cphase_family ->
+    clamp_error (t.family_error_scale *. t.family_error (a, b) [||])
+
+let family_angle_error t edge angles =
+  let e = Topology.canonical edge in
+  clamp_error (t.family_error_scale *. t.family_error e angles)
+
+let twoq_fidelity t edge gate_type = 1.0 -. twoq_error t edge gate_type
+
+let oneq_error t q = t.oneq_error.(q)
+let oneq_fidelity t q = 1.0 -. t.oneq_error.(q)
+let readout_error t q = t.readout_error.(q)
+let t1 t q = t.t1.(q)
+let t2 t q = t.t2.(q)
+let duration_1q t = t.duration_1q
+let duration_2q t = t.duration_2q
+
+let with_family_error_scale t scale = { t with family_error_scale = scale }
+
+(* Uniformly rescale every stored error rate (used for the Fig 7 / Fig 10f
+   error-rate sweeps). *)
+let with_error_scale t scale =
+  let copy =
+    {
+      t with
+      twoq_error = Hashtbl.copy t.twoq_error;
+      oneq_error = Array.map (fun e -> clamp_error (e *. scale)) t.oneq_error;
+      family_error = (fun e a -> t.family_error e a *. scale);
+    }
+  in
+  Hashtbl.iter
+    (fun k e -> Hashtbl.replace copy.twoq_error k (clamp_error (e *. scale)))
+    t.twoq_error;
+  copy
+
+(* In-place transform of every stored fixed-type error (drift
+   simulation). *)
+let map_twoq_errors t f =
+  let updates =
+    Hashtbl.fold
+      (fun (a, b, name) e acc -> ((a, b, name), f (a, b) name e) :: acc)
+      t.twoq_error []
+  in
+  List.iter
+    (fun (key, e) -> Hashtbl.replace t.twoq_error key (clamp_error e))
+    updates
+
+let known_types t edge =
+  let a, b = Topology.canonical edge in
+  Hashtbl.fold
+    (fun (x, y, name) _ acc -> if x = a && y = b then name :: acc else acc)
+    t.twoq_error []
+  |> List.sort compare
+
+let mean_twoq_error t gate_type =
+  let es = List.map (fun e -> twoq_error t e gate_type) (Topology.edges t.topology) in
+  match es with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 es /. float_of_int (List.length es)

@@ -1,0 +1,56 @@
+(** Per-device calibration data: gate fidelities, coherence and timing.
+
+    Fixed gate types have per-edge measured error rates; continuous
+    families are served by a per-edge error function of the family
+    angles. *)
+
+type t
+
+val make :
+  topology:Topology.t ->
+  oneq_error:float array ->
+  readout_error:float array ->
+  t1:float array ->
+  t2:float array ->
+  duration_1q:float ->
+  duration_2q:float ->
+  family_error:((int * int) -> float array -> float) ->
+  ?family_error_scale:float ->
+  unit ->
+  t
+
+val topology : t -> Topology.t
+
+val set_twoq_error : t -> int * int -> Gates.Gate_type.t -> float -> unit
+(** Record the measured error rate of a fixed gate type on an edge. *)
+
+val twoq_error : t -> int * int -> Gates.Gate_type.t -> float
+(** Error rate of a gate type on an edge.  For family types, evaluates the
+    per-edge family error (angle-independent form).  Raises
+    [Invalid_argument] when a fixed type has no data on the edge. *)
+
+val family_angle_error : t -> int * int -> float array -> float
+(** Error rate for a continuous-family gate at specific angles. *)
+
+val twoq_fidelity : t -> int * int -> Gates.Gate_type.t -> float
+val oneq_error : t -> int -> float
+val oneq_fidelity : t -> int -> float
+val readout_error : t -> int -> float
+val t1 : t -> int -> float
+val t2 : t -> int -> float
+val duration_1q : t -> float
+val duration_2q : t -> float
+
+val with_family_error_scale : t -> float -> t
+(** Degrade (or improve) only the continuous family's error rates — the
+    paper's Full_fSim 1x/1.5x/2x/2.5x study. *)
+
+val with_error_scale : t -> float -> t
+(** Rescale every error rate (error-rate sweep experiments). *)
+
+val map_twoq_errors : t -> ((int * int) -> string -> float -> float) -> unit
+(** In-place transform of every stored fixed-type error rate (clamped);
+    used by the calibration-drift simulation. *)
+
+val known_types : t -> int * int -> string list
+val mean_twoq_error : t -> Gates.Gate_type.t -> float

@@ -1,0 +1,105 @@
+(* Google Sycamore device model.
+
+   54 qubits on a 6x9 grid (the real device's diagonal-grid coupler count,
+   88, is close to this grid's 93).  As in Sec VI of the paper: SYC-gate
+   error rates follow N(mu = 0.62%, sigma = 0.24%); every other two-qubit
+   gate type draws iid from the same distribution.  [vary = false]
+   reproduces Fig 10e's "no noise variation across gate types" setting by
+   giving all types on an edge the same error rate. *)
+
+open Gates
+
+let rows = 6
+let cols = 9
+let n_qubits = rows * cols
+
+let err_mu = 0.0062
+let err_sigma = 0.0024
+let err_min = 1e-5
+let err_max = 0.03
+
+let t1_seconds = 15e-6
+let t2_seconds = 10e-6
+let duration_1q = 25e-9
+let duration_2q = 32e-9
+let oneq_error_rate = 1.0e-3
+let readout_error_rate = 3e-2
+
+let default_types =
+  Gate_type.[ s1; s2; s3; s4; s5; s6; s7; swap_type ]
+
+let sample_error ?(mu = err_mu) ?(sigma = err_sigma) rng =
+  let e = Linalg.Rng.gaussian_mu_sigma rng ~mu ~sigma in
+  Float.max err_min (Float.min err_max e)
+
+let device ?(seed = 23) ?(vary = true) ?(types = default_types)
+    ?(family_error_scale = 1.0) ?(mu = err_mu) ?(sigma = err_sigma)
+    ?(oneq = oneq_error_rate) () =
+  let topology = Topology.grid rows cols in
+  let rng = Linalg.Rng.create seed in
+  let edges = Topology.edges topology in
+  (* one base error per edge; used directly when [vary = false] and as the
+     continuous-family error either way *)
+  let edge_base = Hashtbl.create 128 in
+  List.iter (fun e -> Hashtbl.replace edge_base e (sample_error ~mu ~sigma rng)) edges;
+  let family_rng = Linalg.Rng.split rng in
+  let family_base = Hashtbl.create 128 in
+  List.iter
+    (fun e ->
+      let v = if vary then sample_error ~mu ~sigma family_rng else Hashtbl.find edge_base e in
+      Hashtbl.replace family_base e v)
+    edges;
+  let family_error e _angles = Hashtbl.find family_base (Topology.canonical e) in
+  let cal =
+    Calibration.make ~topology
+      ~oneq_error:(Array.make n_qubits oneq)
+      ~readout_error:(Array.make n_qubits readout_error_rate)
+      ~t1:(Array.make n_qubits t1_seconds)
+      ~t2:(Array.make n_qubits t2_seconds)
+      ~duration_1q ~duration_2q ~family_error ~family_error_scale ()
+  in
+  List.iter
+    (fun ty ->
+      List.iter
+        (fun e ->
+          let err = if vary then sample_error ~mu ~sigma rng else Hashtbl.find edge_base e in
+          Calibration.set_twoq_error cal e ty err)
+        edges)
+    types;
+  cal
+
+(* A small sub-device for the 3-6 qubit benchmarks: first [k] qubits of a
+   grid row (a line), with the same error model. *)
+let line_device ?(seed = 23) ?(vary = true) ?(types = default_types)
+    ?(family_error_scale = 1.0) ?(mu = err_mu) ?(sigma = err_sigma)
+    ?(oneq = oneq_error_rate) k =
+  assert (k >= 2 && k <= 30);
+  let topology = Topology.line k in
+  let rng = Linalg.Rng.create seed in
+  let edges = Topology.edges topology in
+  let edge_base = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace edge_base e (sample_error ~mu ~sigma rng)) edges;
+  let family_rng = Linalg.Rng.split rng in
+  let family_base = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let v = if vary then sample_error ~mu ~sigma family_rng else Hashtbl.find edge_base e in
+      Hashtbl.replace family_base e v)
+    edges;
+  let family_error e _angles = Hashtbl.find family_base (Topology.canonical e) in
+  let cal =
+    Calibration.make ~topology
+      ~oneq_error:(Array.make k oneq)
+      ~readout_error:(Array.make k readout_error_rate)
+      ~t1:(Array.make k t1_seconds) ~t2:(Array.make k t2_seconds) ~duration_1q
+      ~duration_2q ~family_error ~family_error_scale ()
+  in
+  List.iter
+    (fun ty ->
+      List.iter
+        (fun e ->
+          let err = if vary then sample_error ~mu ~sigma rng else Hashtbl.find edge_base e in
+          Calibration.set_twoq_error cal e ty err)
+        edges)
+    types;
+  cal

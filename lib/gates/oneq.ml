@@ -1,0 +1,57 @@
+(* Single-qubit gate matrices.
+
+   U3 follows the paper's convention (footnote 1):
+     U3(a, b, l) = [[cos(a/2), -e^{il} sin(a/2)],
+                    [e^{ib} sin(a/2), e^{i(b+l)} cos(a/2)]]. *)
+
+open Linalg
+
+let c re im = { Complex.re; im }
+let r x = c x 0.0
+
+let u3 alpha beta lambda =
+  let ca = Float.cos (alpha /. 2.0) and sa = Float.sin (alpha /. 2.0) in
+  let eb = Cplx.cis beta and el = Cplx.cis lambda in
+  Mat.of_rows
+    [
+      [ r ca; Complex.neg (Cplx.scale sa el) ];
+      [ Cplx.scale sa eb; Cplx.scale ca (Complex.mul eb el) ];
+    ]
+
+let identity = Mat.identity 2
+let x = Mat.of_rows [ [ r 0.0; r 1.0 ]; [ r 1.0; r 0.0 ] ]
+let y = Mat.of_rows [ [ r 0.0; c 0.0 (-1.0) ]; [ c 0.0 1.0; r 0.0 ] ]
+let z = Mat.of_rows [ [ r 1.0; r 0.0 ]; [ r 0.0; r (-1.0) ] ]
+
+let h =
+  let s = 1.0 /. Float.sqrt 2.0 in
+  Mat.of_rows [ [ r s; r s ]; [ r s; r (-.s) ] ]
+
+let s_gate = Mat.of_rows [ [ r 1.0; r 0.0 ]; [ r 0.0; c 0.0 1.0 ] ]
+let sdg = Mat.of_rows [ [ r 1.0; r 0.0 ]; [ r 0.0; c 0.0 (-1.0) ] ]
+let t_gate = Mat.of_rows [ [ r 1.0; r 0.0 ]; [ r 0.0; Cplx.cis (Float.pi /. 4.0) ] ]
+let tdg = Mat.of_rows [ [ r 1.0; r 0.0 ]; [ r 0.0; Cplx.cis (-.Float.pi /. 4.0) ] ]
+
+let rx theta =
+  let ct = Float.cos (theta /. 2.0) and st = Float.sin (theta /. 2.0) in
+  Mat.of_rows [ [ r ct; c 0.0 (-.st) ]; [ c 0.0 (-.st); r ct ] ]
+
+let ry theta =
+  let ct = Float.cos (theta /. 2.0) and st = Float.sin (theta /. 2.0) in
+  Mat.of_rows [ [ r ct; r (-.st) ]; [ r st; r ct ] ]
+
+let rz theta =
+  Mat.of_rows
+    [
+      [ Cplx.cis (-.theta /. 2.0); r 0.0 ];
+      [ r 0.0; Cplx.cis (theta /. 2.0) ];
+    ]
+
+let phase phi = Mat.of_rows [ [ r 1.0; r 0.0 ]; [ r 0.0; Cplx.cis phi ] ]
+
+let pauli_of_index = function
+  | 0 -> identity
+  | 1 -> x
+  | 2 -> y
+  | 3 -> z
+  | k -> invalid_arg (Printf.sprintf "Oneq.pauli_of_index: %d" k)

@@ -1,0 +1,25 @@
+(** Single-qubit gate matrices (2x2 unitaries). *)
+
+open Linalg
+
+val u3 : float -> float -> float -> Mat.t
+(** [u3 alpha beta lambda] — arbitrary single-qubit rotation in the
+    paper's convention (footnote 1 of the paper). *)
+
+val identity : Mat.t
+val x : Mat.t
+val y : Mat.t
+val z : Mat.t
+val h : Mat.t
+val s_gate : Mat.t
+val sdg : Mat.t
+val t_gate : Mat.t
+val tdg : Mat.t
+val rx : float -> Mat.t
+val ry : float -> Mat.t
+val rz : float -> Mat.t
+val phase : float -> Mat.t
+(** [phase phi] = diag(1, e^{i phi}). *)
+
+val pauli_of_index : int -> Mat.t
+(** 0 -> I, 1 -> X, 2 -> Y, 3 -> Z. *)

@@ -1,0 +1,218 @@
+(* Eigenvalues of small general complex matrices.
+
+   Algorithm: Householder reduction to upper Hessenberg form followed by
+   the shifted QR iteration (Wilkinson shift, Givens rotations) with
+   deflation.  The matrices in this project are at most 4x4 (Weyl-chamber
+   invariants of two-qubit unitaries), so no balancing or blocking is
+   needed; convergence is quadratic near deflation. *)
+
+let ( +: ) = Complex.add
+let ( -: ) = Complex.sub
+let ( *: ) = Complex.mul
+
+(* Eigenvalues of a complex 2x2 [[a, b]; [c, d]]. *)
+let eig2 a b c d =
+  let half = { Complex.re = 0.5; im = 0.0 } in
+  let s = half *: (a +: d) in
+  let diff = half *: (a -: d) in
+  let disc = Complex.sqrt ((diff *: diff) +: (b *: c)) in
+  (s +: disc, s -: disc)
+
+let hessenberg a =
+  let n = Mat.rows a in
+  let h = Mat.copy a in
+  let v = Array.make n Complex.zero in
+  for k = 0 to n - 3 do
+    let norm = ref 0.0 in
+    for i = k + 1 to n - 1 do
+      norm := !norm +. Complex.norm2 (Mat.get h i k)
+    done;
+    let norm = Float.sqrt !norm in
+    if norm > 1e-300 then begin
+      let x0 = Mat.get h (k + 1) k in
+      let m0 = Complex.norm x0 in
+      let phase = if m0 < 1e-300 then Complex.one else Cplx.scale (1.0 /. m0) x0 in
+      let alpha = Cplx.scale (-.norm) phase in
+      Array.fill v 0 n Complex.zero;
+      for i = k + 1 to n - 1 do
+        v.(i) <- Mat.get h i k
+      done;
+      v.(k + 1) <- v.(k + 1) -: alpha;
+      let vn = ref 0.0 in
+      for i = k + 1 to n - 1 do
+        vn := !vn +. Complex.norm2 v.(i)
+      done;
+      let vn = Float.sqrt !vn in
+      if vn > 1e-300 then begin
+        for i = k + 1 to n - 1 do
+          v.(i) <- Cplx.scale (1.0 /. vn) v.(i)
+        done;
+        (* H <- P H P with P = I - 2 v v^dag (similarity transform). *)
+        for j = 0 to n - 1 do
+          let w = ref Complex.zero in
+          for i = k + 1 to n - 1 do
+            w := !w +: (Complex.conj v.(i) *: Mat.get h i j)
+          done;
+          let w2 = { Complex.re = 2.0 *. !w.re; im = 2.0 *. !w.im } in
+          for i = k + 1 to n - 1 do
+            Mat.set h i j (Mat.get h i j -: (w2 *: v.(i)))
+          done
+        done;
+        for i = 0 to n - 1 do
+          let w = ref Complex.zero in
+          for j = k + 1 to n - 1 do
+            w := !w +: (Mat.get h i j *: v.(j))
+          done;
+          let w2 = { Complex.re = 2.0 *. !w.re; im = 2.0 *. !w.im } in
+          for j = k + 1 to n - 1 do
+            Mat.set h i j (Mat.get h i j -: (w2 *: Complex.conj v.(j)))
+          done
+        done
+      end
+    end
+  done;
+  h
+
+(* One shifted QR sweep on the active Hessenberg block [lo, hi] using
+   Givens rotations. *)
+let qr_sweep h lo hi shift =
+  let cs = Array.make (hi + 1) Complex.one in
+  let sn = Array.make (hi + 1) Complex.zero in
+  (* subtract shift on the diagonal of the active block *)
+  for i = lo to hi do
+    Mat.set h i i (Mat.get h i i -: shift)
+  done;
+  (* QR: eliminate subdiagonals with Givens rotations G_k *)
+  for k = lo to hi - 1 do
+    let a = Mat.get h k k and b = Mat.get h (k + 1) k in
+    let r = Float.sqrt (Complex.norm2 a +. Complex.norm2 b) in
+    if r > 1e-300 then begin
+      let c = Cplx.scale (1.0 /. r) a in
+      let s = Cplx.scale (1.0 /. r) b in
+      cs.(k) <- c;
+      sn.(k) <- s;
+      (* rows k, k+1 <- G^dag applied on the left *)
+      for j = k to hi do
+        let x = Mat.get h k j and y = Mat.get h (k + 1) j in
+        Mat.set h k j ((Complex.conj c *: x) +: (Complex.conj s *: y));
+        Mat.set h (k + 1) j ((Complex.neg s *: x) +: (c *: y))
+      done
+    end
+    else begin
+      cs.(k) <- Complex.one;
+      sn.(k) <- Complex.zero
+    end
+  done;
+  (* RQ: apply rotations on the right *)
+  for k = lo to hi - 1 do
+    let c = cs.(k) and s = sn.(k) in
+    let top = min hi (k + 1) in
+    for i = lo to top do
+      let x = Mat.get h i k and y = Mat.get h i (k + 1) in
+      Mat.set h i k ((x *: c) +: (y *: s));
+      Mat.set h i (k + 1) ((x *: Complex.neg (Complex.conj s)) +: (y *: Complex.conj c))
+    done
+  done;
+  (* restore shift *)
+  for i = lo to hi do
+    Mat.set h i i (Mat.get h i i +: shift)
+  done
+
+let eigenvalues a =
+  if Mat.rows a <> Mat.cols a then invalid_arg "Eigen.eigenvalues: not square";
+  let n = Mat.rows a in
+  if n = 1 then [| Mat.get a 0 0 |]
+  else begin
+    let h = hessenberg a in
+    let eigs = Array.make n Complex.zero in
+    let hi = ref (n - 1) in
+    let iter = ref 0 in
+    let max_iter = 90 * n in
+    let scale = Float.max 1e-300 (Mat.max_abs_entry a) in
+    let tol = 1e-14 *. scale in
+    while !hi >= 0 && !iter < max_iter do
+      incr iter;
+      if !hi = 0 then begin
+        eigs.(0) <- Mat.get h 0 0;
+        hi := -1
+      end
+      else begin
+        (* find the active block [lo, hi]: walk up while subdiagonals are
+           significant *)
+        let lo = ref !hi in
+        while
+          !lo > 0
+          && Complex.norm (Mat.get h !lo (!lo - 1))
+             > tol
+               +. (1e-15
+                   *. (Complex.norm (Mat.get h !lo !lo)
+                      +. Complex.norm (Mat.get h (!lo - 1) (!lo - 1))))
+        do
+          decr lo
+        done;
+        if !lo = !hi then begin
+          (* 1x1 block deflates *)
+          eigs.(!hi) <- Mat.get h !hi !hi;
+          decr hi
+        end
+        else if !lo = !hi - 1 then begin
+          (* 2x2 block: solve directly *)
+          let l1, l2 =
+            eig2
+              (Mat.get h !lo !lo)
+              (Mat.get h !lo !hi)
+              (Mat.get h !hi !lo)
+              (Mat.get h !hi !hi)
+          in
+          eigs.(!lo) <- l1;
+          eigs.(!hi) <- l2;
+          hi := !lo - 1
+        end
+        else begin
+          (* Wilkinson shift from the trailing 2x2 of the block *)
+          let m = !hi in
+          let l1, l2 =
+            eig2
+              (Mat.get h (m - 1) (m - 1))
+              (Mat.get h (m - 1) m)
+              (Mat.get h m (m - 1))
+              (Mat.get h m m)
+          in
+          let hmm = Mat.get h m m in
+          let d1 = Complex.norm (l1 -: hmm) and d2 = Complex.norm (l2 -: hmm) in
+          let shift = if d1 <= d2 then l1 else l2 in
+          qr_sweep h !lo !hi shift
+        end
+      end
+    done;
+    if !hi >= 0 then
+      (* rare non-convergence: fall back to the remaining diagonal *)
+      for i = 0 to !hi do
+        eigs.(i) <- Mat.get h i i
+      done;
+    eigs
+  end
+
+let eigenvalues_sorted a =
+  let e = eigenvalues a in
+  let key (z : Complex.t) = (z.re, z.im) in
+  Array.sort (fun x y -> compare (key x) (key y)) e;
+  e
+
+(* Eigenvector for a given eigenvalue via one inverse-power step on a
+   slightly shifted system. *)
+let eigenvector a lambda =
+  let n = Mat.rows a in
+  let shifted =
+    Mat.init n n (fun i j ->
+        let v = Mat.get a i j in
+        if i = j then v -: lambda -: { Complex.re = 1e-10; im = 1e-10 } else v)
+  in
+  let b = Mat.init n 1 (fun i _ -> { Complex.re = 1.0 /. float_of_int (i + 1); im = 0.0 }) in
+  let x = Mat.solve shifted b in
+  let nrm = ref 0.0 in
+  for i = 0 to n - 1 do
+    nrm := !nrm +. Complex.norm2 (Mat.get x i 0)
+  done;
+  let nrm = Float.sqrt !nrm in
+  Mat.init n 1 (fun i _ -> Cplx.scale (1.0 /. nrm) (Mat.get x i 0))

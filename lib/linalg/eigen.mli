@@ -1,0 +1,21 @@
+(** Eigenvalues of small general complex matrices.
+
+    Hessenberg reduction + shifted QR iteration with deflation; sized for
+    the 4x4 matrices that arise in Weyl-chamber invariant computation. *)
+
+val eig2 : Complex.t -> Complex.t -> Complex.t -> Complex.t -> Complex.t * Complex.t
+(** Eigenvalues of [[a, b]; [c, d]]. *)
+
+val hessenberg : Mat.t -> Mat.t
+(** Unitary similarity transform to upper Hessenberg form. *)
+
+val eigenvalues : Mat.t -> Complex.t array
+(** All eigenvalues, in deflation order. Raises [Invalid_argument] on
+    non-square input. *)
+
+val eigenvalues_sorted : Mat.t -> Complex.t array
+(** Eigenvalues sorted lexicographically by (re, im) for stable tests. *)
+
+val eigenvector : Mat.t -> Complex.t -> Mat.t
+(** Unit eigenvector (n x 1) for a known eigenvalue, via one
+    inverse-iteration step. *)

@@ -1,0 +1,104 @@
+(* Householder QR decomposition for complex matrices.
+
+   Used to produce Haar-random unitaries (QR of a Ginibre matrix with
+   phase-normalized R diagonal) and as a building block of the eigensolver
+   test-suite.  Sizes in this project are tiny (2..16), so clarity wins
+   over blocking. *)
+
+let ( +: ) = Complex.add
+let ( -: ) = Complex.sub
+let ( *: ) = Complex.mul
+
+(* Apply the Householder reflector (I - 2 v v^dag) to columns j..cols-1 of
+   [m], where [v] is a unit vector supported on rows k..rows-1. *)
+let apply_reflector m v k =
+  let rows = Mat.rows m and cols = Mat.cols m in
+  for j = 0 to cols - 1 do
+    (* w = v^dag * column j *)
+    let w = ref Complex.zero in
+    for i = k to rows - 1 do
+      w := !w +: (Complex.conj v.(i) *: Mat.get m i j)
+    done;
+    let w2 = { Complex.re = 2.0 *. !w.re; im = 2.0 *. !w.im } in
+    for i = k to rows - 1 do
+      Mat.set m i j (Mat.get m i j -: (w2 *: v.(i)))
+    done
+  done
+
+let decompose a =
+  let n = Mat.rows a and cols = Mat.cols a in
+  assert (n >= cols);
+  let r = Mat.copy a in
+  let q = Mat.identity n in
+  let v = Array.make n Complex.zero in
+  for k = 0 to cols - 1 do
+    (* Build the reflector that zeroes r[k+1..n-1, k]. *)
+    let norm = ref 0.0 in
+    for i = k to n - 1 do
+      norm := !norm +. Complex.norm2 (Mat.get r i k)
+    done;
+    let norm = Float.sqrt !norm in
+    if norm > 1e-300 then begin
+      let x0 = Mat.get r k k in
+      (* alpha = -e^{i arg(x0)} * norm, so v never cancels. *)
+      let phase =
+        if Complex.norm x0 < 1e-300 then Complex.one
+        else Cplx.scale (1.0 /. Complex.norm x0) x0
+      in
+      let alpha = Cplx.scale (-.norm) phase in
+      Array.fill v 0 n Complex.zero;
+      for i = k to n - 1 do
+        v.(i) <- Mat.get r i k
+      done;
+      v.(k) <- v.(k) -: alpha;
+      let vnorm = ref 0.0 in
+      for i = k to n - 1 do
+        vnorm := !vnorm +. Complex.norm2 v.(i)
+      done;
+      let vnorm = Float.sqrt !vnorm in
+      if vnorm > 1e-300 then begin
+        for i = k to n - 1 do
+          v.(i) <- Cplx.scale (1.0 /. vnorm) v.(i)
+        done;
+        apply_reflector r v k;
+        (* Accumulate Q by applying the same reflector to Q^dag rows; it is
+           cheaper to track Q directly: Q <- Q * (I - 2 v v^dag). *)
+        let qrows = n in
+        for i = 0 to qrows - 1 do
+          (* w = row i of Q times v *)
+          let w = ref Complex.zero in
+          for l = k to n - 1 do
+            w := !w +: (Mat.get q i l *: v.(l))
+          done;
+          let w2 = { Complex.re = 2.0 *. !w.re; im = 2.0 *. !w.im } in
+          for l = k to n - 1 do
+            Mat.set q i l (Mat.get q i l -: (w2 *: Complex.conj v.(l)))
+          done
+        done
+      end
+    end
+  done;
+  (q, r)
+
+let haar_unitary rng n =
+  (* Ginibre ensemble -> QR -> fix R's diagonal phases (Mezzadri 2007). *)
+  let g =
+    Mat.init n n (fun _ _ ->
+        { Complex.re = Rng.gaussian rng; im = Rng.gaussian rng })
+  in
+  let q, r = decompose g in
+  let fix = Mat.identity n in
+  for i = 0 to n - 1 do
+    let d = Mat.get r i i in
+    let m = Complex.norm d in
+    let ph = if m < 1e-300 then Complex.one else Cplx.scale (1.0 /. m) d in
+    Mat.set fix i i ph
+  done;
+  Mat.mul q fix
+
+let haar_special_unitary rng n =
+  let u = haar_unitary rng n in
+  (* divide by det^{1/n} to land in SU(n) *)
+  let d = Mat.det u in
+  let phase = Complex.arg d /. float_of_int n in
+  Mat.scale (Cplx.cis (-.phase)) u

@@ -1,0 +1,11 @@
+(** Householder QR decomposition and Haar-random unitaries. *)
+
+val decompose : Mat.t -> Mat.t * Mat.t
+(** [decompose a] returns [(q, r)] with [a = q * r], [q] unitary and [r]
+    upper triangular.  Requires [rows a >= cols a]. *)
+
+val haar_unitary : Rng.t -> int -> Mat.t
+(** Haar-distributed element of U(n) (Ginibre + phase-fixed QR). *)
+
+val haar_special_unitary : Rng.t -> int -> Mat.t
+(** Haar-distributed element of SU(n). *)

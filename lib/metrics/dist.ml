@@ -1,0 +1,40 @@
+(* Helpers on discrete probability distributions (output-probability
+   vectors of the simulators). *)
+
+let validate probs =
+  let sum = Array.fold_left ( +. ) 0.0 probs in
+  Array.iter (fun p -> assert (p >= -1e-9)) probs;
+  assert (Float.abs (sum -. 1.0) < 1e-6)
+
+let uniform dim = Array.make dim (1.0 /. float_of_int dim)
+
+let median probs =
+  let sorted = Array.copy probs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n mod 2 = 1 then sorted.(n / 2)
+  else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.0
+
+(* Cross entropy H(p, q) = - sum_x p(x) log q(x), with q clamped away
+   from zero. *)
+let cross_entropy p q =
+  assert (Array.length p = Array.length q);
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun x px -> if px > 0.0 then acc := !acc -. (px *. Float.log (Float.max q.(x) 1e-300)))
+    p;
+  !acc
+
+let entropy p = cross_entropy p p
+
+let total_variation p q =
+  assert (Array.length p = Array.length q);
+  let acc = ref 0.0 in
+  Array.iteri (fun x px -> acc := !acc +. Float.abs (px -. q.(x))) p;
+  0.5 *. !acc
+
+let overlap p q =
+  assert (Array.length p = Array.length q);
+  let acc = ref 0.0 in
+  Array.iteri (fun x px -> acc := !acc +. (px *. q.(x))) p;
+  !acc

@@ -1,0 +1,12 @@
+(** Helpers on discrete probability distributions. *)
+
+val validate : float array -> unit
+val uniform : int -> float array
+val median : float array -> float
+val cross_entropy : float array -> float array -> float
+(** H(p, q) = - sum p(x) log q(x). *)
+
+val entropy : float array -> float
+val total_variation : float array -> float array -> float
+val overlap : float array -> float array -> float
+(** sum_x p(x) q(x). *)

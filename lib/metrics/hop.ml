@@ -1,0 +1,29 @@
+(* Heavy Output Probability for Quantum Volume (Cross et al. 2019).
+
+   Heavy outputs are the bitstrings whose ideal probability exceeds the
+   median ideal probability; HOP is the noisy probability mass on that
+   set.  HOP > 2/3 across enough random circuits certifies quantum volume
+   2^n. *)
+
+let threshold = 2.0 /. 3.0
+
+let heavy_set ~ideal =
+  let med = Dist.median ideal in
+  let out = ref [] in
+  Array.iteri (fun x p -> if p > med then out := x :: !out) ideal;
+  !out
+
+let probability ~ideal ~noisy =
+  assert (Array.length ideal = Array.length noisy);
+  List.fold_left (fun acc x -> acc +. noisy.(x)) 0.0 (heavy_set ~ideal)
+
+let mean_hop pairs =
+  match pairs with
+  | [] -> invalid_arg "Hop.mean_hop: empty"
+  | _ ->
+    let total =
+      List.fold_left (fun acc (ideal, noisy) -> acc +. probability ~ideal ~noisy) 0.0 pairs
+    in
+    total /. float_of_int (List.length pairs)
+
+let passes_qv pairs = mean_hop pairs > threshold

@@ -1,0 +1,9 @@
+(** Heavy Output Probability (Quantum Volume metric). *)
+
+val threshold : float
+(** 2/3. *)
+
+val heavy_set : ideal:float array -> int list
+val probability : ideal:float array -> noisy:float array -> float
+val mean_hop : (float array * float array) list -> float
+val passes_qv : (float array * float array) list -> bool

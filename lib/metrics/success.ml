@@ -1,0 +1,24 @@
+(* Success rate for QFT (Sec VI): probability that the execution produces
+   the correct output state, measured as the fidelity with the ideal
+   output distribution/state. *)
+
+(* Probability-space success: mass the noisy run puts on the ideal
+   outcome set.  For QFT on a basis-state input, the ideal output is not
+   a basis state, so the distribution fidelity
+   (sum_x sqrt(p_ideal p_noisy))^2 — the classical (Bhattacharyya)
+   fidelity — is used on distributions; state fidelity <psi|rho|psi> is
+   available separately when the density matrix is at hand. *)
+let distribution_fidelity ~ideal ~noisy =
+  assert (Array.length ideal = Array.length noisy);
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun x p -> acc := !acc +. Float.sqrt (Float.max 0.0 (p *. noisy.(x))))
+    ideal;
+  !acc *. !acc
+
+let basis_success ~target ~noisy = noisy.(target)
+
+let mean values =
+  match values with
+  | [] -> invalid_arg "Success.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)

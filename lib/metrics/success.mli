@@ -1,0 +1,9 @@
+(** Success-rate metrics (QFT benchmark). *)
+
+val distribution_fidelity : ideal:float array -> noisy:float array -> float
+(** Classical (Bhattacharyya) fidelity between output distributions. *)
+
+val basis_success : target:int -> noisy:float array -> float
+(** Probability of the single correct basis outcome. *)
+
+val mean : float list -> float

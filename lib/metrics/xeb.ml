@@ -1,0 +1,24 @@
+(* Linear cross-entropy benchmarking fidelity (Neill et al., Science 360):
+   F_XEB = 2^n * sum_x p_noisy(x) p_ideal(x) - 1.
+   1 for ideal Porter-Thomas output, 0 for the fully mixed state. *)
+
+let linear_fidelity ~ideal ~noisy =
+  assert (Array.length ideal = Array.length noisy);
+  let dim = Array.length ideal in
+  (float_of_int dim *. Dist.overlap noisy ideal) -. 1.0
+
+(* Variant normalized so a perfect execution scores exactly 1 even for
+   non-Porter-Thomas ideal distributions (used for the structured FH
+   circuits):
+   F = (2^n <p_ideal>_noisy - 1) / (2^n <p_ideal>_ideal - 1). *)
+let normalized_fidelity ~ideal ~noisy =
+  let dim = float_of_int (Array.length ideal) in
+  let denom = (dim *. Dist.overlap ideal ideal) -. 1.0 in
+  let num = (dim *. Dist.overlap noisy ideal) -. 1.0 in
+  if Float.abs denom < 1e-12 then 0.0 else num /. denom
+
+let from_overlap ~n_qubits ~overlap_noisy_ideal ~overlap_ideal_ideal =
+  let dim = float_of_int (1 lsl n_qubits) in
+  let denom = (dim *. overlap_ideal_ideal) -. 1.0 in
+  let num = (dim *. overlap_noisy_ideal) -. 1.0 in
+  if Float.abs denom < 1e-12 then 0.0 else num /. denom

@@ -1,0 +1,13 @@
+(** Linear cross-entropy benchmarking fidelity (FH metric in the paper). *)
+
+val linear_fidelity : ideal:float array -> noisy:float array -> float
+(** 2^n sum_x p_noisy(x) p_ideal(x) - 1. *)
+
+val normalized_fidelity : ideal:float array -> noisy:float array -> float
+(** Normalized so a perfect execution scores 1 for any ideal
+    distribution. *)
+
+val from_overlap :
+  n_qubits:int -> overlap_noisy_ideal:float -> overlap_ideal_ideal:float -> float
+(** Same as [normalized_fidelity] from precomputed overlaps (trajectory
+    simulation path, where full probability vectors are not kept). *)

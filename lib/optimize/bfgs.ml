@@ -1,0 +1,130 @@
+(* BFGS quasi-Newton minimizer with an explicit inverse-Hessian
+   approximation.
+
+   This is the optimizer the paper uses (scipy's BFGS) for NuOp template
+   fitting: dimensions are small (6..40 angles), objectives are smooth
+   infidelities, gradients come from {!Grad.central}. *)
+
+type options = {
+  max_iter : int;
+  grad_tol : float;  (** stop when the gradient infinity-norm is below *)
+  f_tol : float;  (** stop when the objective drops below (target value) *)
+  step_tol : float;  (** stop when steps stagnate *)
+  fd_step : float;  (** finite-difference step for the gradient *)
+}
+
+let default_options =
+  { max_iter = 200; grad_tol = 1e-8; f_tol = -.infinity; step_tol = 1e-12; fd_step = 1e-7 }
+
+type outcome = Converged | Target_reached | Max_iterations | Stagnated
+
+type result = {
+  x : float array;
+  f : float;
+  iterations : int;
+  evaluations : int;
+  outcome : outcome;
+}
+
+(* h <- (I - rho s y^T) h (I - rho y s^T) + rho s s^T, the standard BFGS
+   inverse-Hessian update, done in place on a dense n x n float matrix. *)
+let update_inverse_hessian h s y n =
+  let rho_denom = Grad.dot y s in
+  if rho_denom > 1e-12 then begin
+    let rho = 1.0 /. rho_denom in
+    (* hy = H y *)
+    let hy = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for j = 0 to n - 1 do
+        acc := !acc +. (h.((i * n) + j) *. y.(j))
+      done;
+      hy.(i) <- !acc
+    done;
+    let yhy = Grad.dot y hy in
+    let coeff = (1.0 +. (rho *. yhy)) *. rho in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        h.((i * n) + j) <-
+          h.((i * n) + j)
+          +. (coeff *. s.(i) *. s.(j))
+          -. (rho *. ((s.(i) *. hy.(j)) +. (hy.(i) *. s.(j))))
+      done
+    done
+  end
+
+let minimize ?(options = default_options) f x0 =
+  let n = Array.length x0 in
+  let x = Array.copy x0 in
+  let evals = ref 0 in
+  let f_counted z =
+    incr evals;
+    f z
+  in
+  let fx = ref (f_counted x) in
+  let g = ref (Grad.central ~h:options.fd_step f_counted x) in
+  (* inverse Hessian approximation, initialized to the identity *)
+  let hinv = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    hinv.((i * n) + i) <- 1.0
+  done;
+  let d = Array.make n 0.0 in
+  let s = Array.make n 0.0 in
+  let y = Array.make n 0.0 in
+  let iter = ref 0 in
+  let outcome = ref Max_iterations in
+  (try
+     while !iter < options.max_iter do
+       incr iter;
+       if !fx <= options.f_tol then begin
+         outcome := Target_reached;
+         raise Exit
+       end;
+       let gnorm = Grad.norm !g in
+       if gnorm <= options.grad_tol then begin
+         outcome := Converged;
+         raise Exit
+       end;
+       (* d = -H g *)
+       for i = 0 to n - 1 do
+         let acc = ref 0.0 in
+         for j = 0 to n - 1 do
+           acc := !acc +. (hinv.((i * n) + j) *. !g.(j))
+         done;
+         d.(i) <- -. !acc
+       done;
+       let slope = Grad.dot !g d in
+       (* If numerical error made d a non-descent direction, restart from
+          steepest descent. *)
+       let slope =
+         if slope >= 0.0 then begin
+           for i = 0 to n - 1 do
+             for j = 0 to n - 1 do
+               hinv.((i * n) + j) <- (if i = j then 1.0 else 0.0)
+             done;
+             d.(i) <- -. !g.(i)
+           done;
+           -.(gnorm *. gnorm)
+         end
+         else slope
+       in
+       let ls = Line_search.search f_counted x d ~f0:!fx ~slope in
+       evals := !evals + 0;
+       if ls.step <= 0.0 || ls.f_new >= !fx -. options.step_tol then begin
+         outcome := Stagnated;
+         raise Exit
+       end;
+       for i = 0 to n - 1 do
+         s.(i) <- ls.step *. d.(i);
+         x.(i) <- x.(i) +. s.(i)
+       done;
+       fx := ls.f_new;
+       let g_new = Grad.central ~h:options.fd_step f_counted x in
+       for i = 0 to n - 1 do
+         y.(i) <- g_new.(i) -. !g.(i)
+       done;
+       g := g_new;
+       update_inverse_hessian hinv s y n
+     done
+   with Exit -> ());
+  { x; f = !fx; iterations = !iter; evaluations = !evals; outcome = !outcome }

@@ -1,0 +1,28 @@
+(** BFGS quasi-Newton minimizer (dense inverse-Hessian form).
+
+    The optimizer behind NuOp template fitting, mirroring the paper's use
+    of scipy's BFGS with finite-difference gradients. *)
+
+type options = {
+  max_iter : int;
+  grad_tol : float;  (** stop when ||grad||_2 falls below this *)
+  f_tol : float;  (** stop as soon as the objective drops below this *)
+  step_tol : float;  (** stop when steps stop making progress *)
+  fd_step : float;  (** finite-difference step for gradients *)
+}
+
+val default_options : options
+
+type outcome = Converged | Target_reached | Max_iterations | Stagnated
+
+type result = {
+  x : float array;
+  f : float;
+  iterations : int;
+  evaluations : int;  (** total objective evaluations, gradients included *)
+  outcome : outcome;
+}
+
+val minimize : ?options:options -> (float array -> float) -> float array -> result
+(** [minimize f x0] minimizes [f] starting from [x0]. [x0] is not
+    mutated. *)

@@ -1,0 +1,46 @@
+(* Finite-difference gradients.
+
+   NuOp's objective (decomposition infidelity of a 4x4 template) is smooth
+   and cheap, so central differences with a fixed step are accurate and
+   simpler than analytic differentiation through the template product. *)
+
+let default_step = 1e-7
+
+let central ?(h = default_step) f x =
+  let n = Array.length x in
+  let g = Array.make n 0.0 in
+  let xp = Array.copy x in
+  for i = 0 to n - 1 do
+    let xi = x.(i) in
+    xp.(i) <- xi +. h;
+    let fp = f xp in
+    xp.(i) <- xi -. h;
+    let fm = f xp in
+    xp.(i) <- xi;
+    g.(i) <- (fp -. fm) /. (2.0 *. h)
+  done;
+  g
+
+let forward ?(h = default_step) f x =
+  let n = Array.length x in
+  let f0 = f x in
+  let g = Array.make n 0.0 in
+  let xp = Array.copy x in
+  for i = 0 to n - 1 do
+    let xi = x.(i) in
+    xp.(i) <- xi +. h;
+    g.(i) <- (f xp -. f0) /. h;
+    xp.(i) <- xi
+  done;
+  g
+
+let norm g =
+  let acc = ref 0.0 in
+  Array.iter (fun v -> acc := !acc +. (v *. v)) g;
+  Float.sqrt !acc
+
+let dot a b =
+  assert (Array.length a = Array.length b);
+  let acc = ref 0.0 in
+  Array.iteri (fun i av -> acc := !acc +. (av *. b.(i))) a;
+  !acc

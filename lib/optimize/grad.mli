@@ -1,0 +1,12 @@
+(** Finite-difference gradients and small vector helpers. *)
+
+val default_step : float
+
+val central : ?h:float -> (float array -> float) -> float array -> float array
+(** Central-difference gradient (2n evaluations). *)
+
+val forward : ?h:float -> (float array -> float) -> float array -> float array
+(** Forward-difference gradient (n+1 evaluations, lower accuracy). *)
+
+val norm : float array -> float
+val dot : float array -> float array -> float

@@ -1,0 +1,27 @@
+(** Backtracking Armijo line search with quadratic interpolation. *)
+
+type result = {
+  step : float;  (** accepted step length; 0 when no progress was made *)
+  f_new : float;  (** objective at the accepted point *)
+  evals : int;  (** number of objective evaluations used *)
+}
+
+val default_c1 : float
+val default_shrink : float
+val default_max_trials : int
+
+val search :
+  ?c1:float ->
+  ?shrink:float ->
+  ?max_trials:int ->
+  ?t0:float ->
+  (float array -> float) ->
+  float array ->
+  float array ->
+  f0:float ->
+  slope:float ->
+  result
+(** [search f x d ~f0 ~slope] finds a step [t] along direction [d] from
+    [x] satisfying the Armijo condition
+    [f(x + t d) <= f0 + c1 t slope].  [slope] must be the directional
+    derivative [grad f(x) . d] (negative for a descent direction). *)

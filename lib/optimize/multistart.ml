@@ -1,0 +1,24 @@
+(* Multistart driver: run a local optimizer from several deterministic
+   random starts and keep the best, stopping early once a caller-supplied
+   target is reached.
+
+   NuOp's template objective has local optima (it is a product of cosines
+   of the angle parameters), so restarts matter; the early stop keeps the
+   common case (threshold reached on the first start) cheap. *)
+
+type 'a run = { best : 'a; best_f : float; starts_used : int }
+
+let run ?first_start ~rng ~starts ~dim ~lo ~hi ~target ~optimize ~value () =
+  assert (starts >= 1);
+  let sample () = Array.init dim (fun _ -> Linalg.Rng.uniform rng lo hi) in
+  let x0 = match first_start with Some x -> x | None -> sample () in
+  let first = optimize x0 in
+  let rec loop k best best_f =
+    if best_f <= target || k >= starts then { best; best_f; starts_used = k }
+    else begin
+      let r = optimize (sample ()) in
+      let f = value r in
+      if f < best_f then loop (k + 1) r f else loop (k + 1) best best_f
+    end
+  in
+  loop 1 first (value first)

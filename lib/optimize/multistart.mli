@@ -1,0 +1,26 @@
+(** Multistart driver with early stopping for local optimizers. *)
+
+type 'a run = {
+  best : 'a;  (** best optimizer result across starts *)
+  best_f : float;  (** its objective value *)
+  starts_used : int;  (** starts actually executed (early stop counts) *)
+}
+
+val run :
+  ?first_start:float array ->
+  rng:Linalg.Rng.t ->
+  starts:int ->
+  dim:int ->
+  lo:float ->
+  hi:float ->
+  target:float ->
+  optimize:(float array -> 'a) ->
+  value:('a -> float) ->
+  unit ->
+  'a run
+(** [run ~rng ~starts ~dim ~lo ~hi ~target ~optimize ~value ()] draws up
+    to [starts] uniform starting points in [lo, hi]^dim, runs [optimize]
+    on each and keeps the result minimizing [value]; stops as soon as the
+    value reaches [target].  [first_start] overrides the first point
+    (NuOp seeds it with the all-zeros template, which is exact for
+    near-identity targets). *)

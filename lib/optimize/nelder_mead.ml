@@ -1,0 +1,111 @@
+(* Nelder-Mead downhill simplex.
+
+   Kept as a derivative-free alternative to {!Bfgs} and used by the
+   optimizer ablation bench; NuOp's default path is BFGS, as in the
+   paper. *)
+
+type options = {
+  max_iter : int;
+  f_tol : float;  (** stop when the simplex spread falls below this *)
+  target : float;  (** stop as soon as the best value drops below this *)
+  initial_step : float;
+}
+
+let default_options =
+  { max_iter = 2000; f_tol = 1e-12; target = -.infinity; initial_step = 0.5 }
+
+type result = { x : float array; f : float; iterations : int; evaluations : int }
+
+let alpha = 1.0 (* reflection *)
+let gamma = 2.0 (* expansion *)
+let rho = 0.5 (* contraction *)
+let sigma = 0.5 (* shrink *)
+
+let minimize ?(options = default_options) f x0 =
+  let n = Array.length x0 in
+  let evals = ref 0 in
+  let fc x =
+    incr evals;
+    f x
+  in
+  (* simplex of n+1 vertices *)
+  let verts =
+    Array.init (n + 1) (fun k ->
+        let v = Array.copy x0 in
+        if k > 0 then v.(k - 1) <- v.(k - 1) +. options.initial_step;
+        v)
+  in
+  let values = Array.map fc verts in
+  let order () =
+    let idx = Array.init (n + 1) (fun i -> i) in
+    Array.sort (fun a b -> compare values.(a) values.(b)) idx;
+    idx
+  in
+  let centroid idx =
+    let c = Array.make n 0.0 in
+    (* centroid of all but the worst vertex *)
+    for k = 0 to n - 1 do
+      let v = verts.(idx.(k)) in
+      for i = 0 to n - 1 do
+        c.(i) <- c.(i) +. (v.(i) /. float_of_int n)
+      done
+    done;
+    c
+  in
+  let combine c v t =
+    Array.init n (fun i -> c.(i) +. (t *. (c.(i) -. v.(i))))
+  in
+  let iter = ref 0 in
+  let spread idx = values.(idx.(n)) -. values.(idx.(0)) in
+  let idx = ref (order ()) in
+  while
+    !iter < options.max_iter
+    && spread !idx > options.f_tol
+    && values.(!idx.(0)) > options.target
+  do
+    incr iter;
+    let worst = !idx.(n) and second = !idx.(n - 1) and best = !idx.(0) in
+    let c = centroid !idx in
+    let xr = combine c verts.(worst) alpha in
+    let fr = fc xr in
+    if fr < values.(best) then begin
+      (* try expansion *)
+      let xe = combine c verts.(worst) gamma in
+      let fe = fc xe in
+      if fe < fr then begin
+        verts.(worst) <- xe;
+        values.(worst) <- fe
+      end
+      else begin
+        verts.(worst) <- xr;
+        values.(worst) <- fr
+      end
+    end
+    else if fr < values.(second) then begin
+      verts.(worst) <- xr;
+      values.(worst) <- fr
+    end
+    else begin
+      (* contraction toward the centroid *)
+      let xc = combine c verts.(worst) (-.rho) in
+      let fc_v = fc xc in
+      if fc_v < values.(worst) then begin
+        verts.(worst) <- xc;
+        values.(worst) <- fc_v
+      end
+      else
+        (* shrink toward the best vertex *)
+        for k = 0 to n do
+          if k <> best then begin
+            let v = verts.(k) and b = verts.(best) in
+            for i = 0 to n - 1 do
+              v.(i) <- b.(i) +. (sigma *. (v.(i) -. b.(i)))
+            done;
+            values.(k) <- fc v
+          end
+        done
+    end;
+    idx := order ()
+  done;
+  let best = !idx.(0) in
+  { x = Array.copy verts.(best); f = values.(best); iterations = !iter; evaluations = !evals }

@@ -1,0 +1,15 @@
+(** Nelder-Mead downhill simplex (derivative-free alternative to BFGS,
+    used by the optimizer ablation bench). *)
+
+type options = {
+  max_iter : int;
+  f_tol : float;
+  target : float;
+  initial_step : float;
+}
+
+val default_options : options
+
+type result = { x : float array; f : float; iterations : int; evaluations : int }
+
+val minimize : ?options:options -> (float array -> float) -> float array -> result

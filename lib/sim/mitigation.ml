@@ -1,0 +1,43 @@
+(* Readout-error mitigation by confusion-matrix inversion.
+
+   The standard NISQ post-processing step: the measured distribution is
+   p_meas = A p_true with A a tensor product of per-qubit 2x2 confusion
+   matrices; inverting A (per qubit, in place) recovers an estimate of
+   p_true.  The inverse can produce small negative quasi-probabilities,
+   which are clipped and renormalized. *)
+
+let invert_single ~error_rate probs ~qubit =
+  assert (error_rate >= 0.0 && error_rate < 0.5);
+  let p = error_rate in
+  (* A = [[1-p, p]; [p, 1-p]], A^-1 = 1/(1-2p) [[1-p, -p]; [-p, 1-p]] *)
+  let det = 1.0 -. (2.0 *. p) in
+  let a = (1.0 -. p) /. det and b = -.p /. det in
+  let out = Array.copy probs in
+  let bit = 1 lsl qubit in
+  Array.iteri
+    (fun idx _ ->
+      if idx land bit = 0 then begin
+        let p0 = probs.(idx) and p1 = probs.(idx lor bit) in
+        out.(idx) <- (a *. p0) +. (b *. p1);
+        out.(idx lor bit) <- (b *. p0) +. (a *. p1)
+      end)
+    probs;
+  out
+
+let clip_and_renormalize probs =
+  let clipped = Array.map (fun v -> Float.max 0.0 v) probs in
+  let total = Array.fold_left ( +. ) 0.0 clipped in
+  if total <= 0.0 then clipped else Array.map (fun v -> v /. total) clipped
+
+let mitigate_readout ~error_rates probs =
+  let n_qubits =
+    let rec log2 acc k = if k <= 1 then acc else log2 (acc + 1) (k / 2) in
+    log2 0 (Array.length probs)
+  in
+  assert (Array.length error_rates = n_qubits);
+  let cur = ref probs in
+  for q = 0 to n_qubits - 1 do
+    if error_rates.(q) > 0.0 then
+      cur := invert_single ~error_rate:error_rates.(q) !cur ~qubit:q
+  done;
+  clip_and_renormalize !cur

@@ -1,0 +1,11 @@
+(** Readout-error mitigation by confusion-matrix inversion. *)
+
+val invert_single : error_rate:float -> float array -> qubit:int -> float array
+(** Apply the inverse of one qubit's symmetric confusion matrix.
+    Requires error_rate < 0.5. *)
+
+val clip_and_renormalize : float array -> float array
+
+val mitigate_readout : error_rates:float array -> float array -> float array
+(** Undo per-qubit readout errors on a probability vector; the result is
+    clipped to non-negative values and renormalized. *)

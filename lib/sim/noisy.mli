@@ -1,0 +1,32 @@
+(** Noisy circuit execution on the exact density simulator (the paper's
+    Aer-style noise model: depolarizing + T1/T2 damping + readout). *)
+
+type noise_model = {
+  twoq_error : int -> Qcir.Instr.t -> float;
+  oneq_error : int -> float;
+  readout_error : int -> float;
+  t1 : int -> float;
+  t2 : int -> float;
+  duration_1q : float;
+  duration_2q : float;
+}
+
+val of_calibration :
+  twoq_error:(int -> Qcir.Instr.t -> float) -> Device.Calibration.t -> noise_model
+(** Build a model from device calibration; the per-instruction two-qubit
+    error function comes from the compiler (it knows which hardware gate
+    type each instruction uses). *)
+
+val ideal : noise_model
+
+val run : noise_model -> Qcir.Circuit.t -> Density.t
+(** Acting-qubits-only decoherence (the cheap approximation). *)
+
+val run_scheduled : noise_model -> Qcir.Circuit.t -> Density.t
+(** Schedule-aware execution: instructions pack into ASAP moments and
+    decoherence acts on every qubit — idle ones included — for each
+    moment's duration. *)
+
+val output_probabilities :
+  ?scheduled:bool -> noise_model -> Qcir.Circuit.t -> float array
+(** Final probabilities including classical readout error. *)

@@ -1,0 +1,7 @@
+(** Measurement (shot) sampling from probability vectors. *)
+
+open Linalg
+
+val sample_one : Rng.t -> float array -> int
+val counts : rng:Rng.t -> shots:int -> float array -> (int, int) Hashtbl.t
+val empirical_probabilities : rng:Rng.t -> shots:int -> float array -> float array

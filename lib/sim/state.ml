@@ -1,0 +1,141 @@
+(* State-vector simulator core.
+
+   Amplitudes live in two unboxed float arrays (re / im); qubit [q]
+   corresponds to bit [q] of the amplitude index (qubit 0 is the least
+   significant bit).
+
+   Gate application is the general k-qubit kernel: for each setting of the
+   untouched bits, gather the 2^k amplitudes addressed by the gate's
+   qubits, multiply by the matrix, scatter back.  The same kernel powers
+   the vectorized density simulator (where "qubits" include bra indices
+   and the matrix need not be unitary). *)
+
+open Linalg
+
+type t = { n_qubits : int; re : float array; im : float array }
+
+let max_qubits = 26 (* 2^26 amplitudes * 16 B = 1 GiB; guard rail *)
+
+let create n_qubits =
+  if n_qubits < 1 || n_qubits > max_qubits then
+    invalid_arg (Printf.sprintf "State.create: n_qubits %d out of range" n_qubits);
+  let dim = 1 lsl n_qubits in
+  let s = { n_qubits; re = Array.make dim 0.0; im = Array.make dim 0.0 } in
+  s.re.(0) <- 1.0;
+  s
+
+let n_qubits t = t.n_qubits
+let dim t = 1 lsl t.n_qubits
+
+let copy t = { t with re = Array.copy t.re; im = Array.copy t.im }
+
+let amplitude t k = { Complex.re = t.re.(k); im = t.im.(k) }
+
+let set_amplitude t k (z : Complex.t) =
+  t.re.(k) <- z.re;
+  t.im.(k) <- z.im
+
+let of_basis n_qubits k =
+  let s = create n_qubits in
+  s.re.(0) <- 0.0;
+  s.re.(k) <- 1.0;
+  s
+
+let norm2 t =
+  let acc = ref 0.0 in
+  for k = 0 to dim t - 1 do
+    acc := !acc +. (t.re.(k) *. t.re.(k)) +. (t.im.(k) *. t.im.(k))
+  done;
+  !acc
+
+let normalize t =
+  let n = Float.sqrt (norm2 t) in
+  if n > 1e-300 then begin
+    let inv = 1.0 /. n in
+    for k = 0 to dim t - 1 do
+      t.re.(k) <- t.re.(k) *. inv;
+      t.im.(k) <- t.im.(k) *. inv
+    done
+  end
+
+let probability t k = (t.re.(k) *. t.re.(k)) +. (t.im.(k) *. t.im.(k))
+
+let probabilities t = Array.init (dim t) (probability t)
+
+let inner a b =
+  assert (a.n_qubits = b.n_qubits);
+  let re = ref 0.0 and im = ref 0.0 in
+  for k = 0 to dim a - 1 do
+    re := !re +. ((a.re.(k) *. b.re.(k)) +. (a.im.(k) *. b.im.(k)));
+    im := !im +. ((a.re.(k) *. b.im.(k)) -. (a.im.(k) *. b.re.(k)))
+  done;
+  { Complex.re = !re; im = !im }
+
+let fidelity_pure a b = Complex.norm2 (inner a b)
+
+(* Gather/scatter k-qubit gate application.  [qubits] orders the matrix
+   index with qubits.(0) as the MOST significant bit: a 2-qubit gate on
+   [a; b] sees basis |x_a x_b> with index 2*x_a + x_b, matching the 4x4
+   conventions of the gates library. *)
+let apply_matrix t matrix qubits =
+  let k = Array.length qubits in
+  assert (Mat.rows matrix = 1 lsl k && Mat.cols matrix = 1 lsl k);
+  Array.iter (fun q -> assert (q >= 0 && q < t.n_qubits)) qubits;
+  let dim_gate = 1 lsl k in
+  let md = Mat.unsafe_data matrix in
+  (* bit position (in the state index) of matrix bit j: matrix bit j is
+     the j-th from the LEAST significant, i.e. qubits.(k-1-j) *)
+  let bitpos = Array.init k (fun j -> qubits.(k - 1 - j)) in
+  let mask_sorted = Array.copy bitpos in
+  Array.sort compare mask_sorted;
+  let n_rest = t.n_qubits - k in
+  let gather_re = Array.make dim_gate 0.0 in
+  let gather_im = Array.make dim_gate 0.0 in
+  let offsets = Array.make dim_gate 0 in
+  (* offset of each gate-basis setting within a block *)
+  for g = 0 to dim_gate - 1 do
+    let off = ref 0 in
+    for j = 0 to k - 1 do
+      if (g lsr j) land 1 = 1 then off := !off lor (1 lsl bitpos.(j))
+    done;
+    offsets.(g) <- !off
+  done;
+  for rest = 0 to (1 lsl n_rest) - 1 do
+    (* expand [rest] into a full index with zeros at the gate bits *)
+    let base = ref rest in
+    Array.iter
+      (fun q ->
+        let low_mask = (1 lsl q) - 1 in
+        base := (!base land low_mask) lor ((!base land lnot low_mask) lsl 1))
+      mask_sorted;
+    let base = !base in
+    for g = 0 to dim_gate - 1 do
+      let idx = base lor offsets.(g) in
+      gather_re.(g) <- t.re.(idx);
+      gather_im.(g) <- t.im.(idx)
+    done;
+    for r = 0 to dim_gate - 1 do
+      let acc_re = ref 0.0 and acc_im = ref 0.0 in
+      for c = 0 to dim_gate - 1 do
+        let km = 2 * ((r * dim_gate) + c) in
+        let mr = md.(km) and mi = md.(km + 1) in
+        acc_re := !acc_re +. ((mr *. gather_re.(c)) -. (mi *. gather_im.(c)));
+        acc_im := !acc_im +. ((mr *. gather_im.(c)) +. (mi *. gather_re.(c)))
+      done;
+      let idx = base lor offsets.(r) in
+      t.re.(idx) <- !acc_re;
+      t.im.(idx) <- !acc_im
+    done
+  done
+
+let apply_instr t instr =
+  apply_matrix t (Gates.Gate.matrix (Qcir.Instr.gate instr)) (Qcir.Instr.qubits instr)
+
+let run_circuit circuit =
+  let s = create (Qcir.Circuit.n_qubits circuit) in
+  Qcir.Circuit.iter (apply_instr s) circuit;
+  s
+
+let run_circuit_on s circuit =
+  assert (s.n_qubits = Qcir.Circuit.n_qubits circuit);
+  Qcir.Circuit.iter (apply_instr s) circuit

@@ -1,0 +1,41 @@
+(** State-vector simulator on unboxed float arrays.
+
+    Qubit [q] is bit [q] of the amplitude index (qubit 0 least
+    significant). *)
+
+open Linalg
+
+type t
+
+val max_qubits : int
+
+val create : int -> t
+(** |0...0> on n qubits. *)
+
+val of_basis : int -> int -> t
+(** [of_basis n k] is the computational basis state |k>. *)
+
+val n_qubits : t -> int
+val dim : t -> int
+val copy : t -> t
+
+val amplitude : t -> int -> Complex.t
+val set_amplitude : t -> int -> Complex.t -> unit
+
+val norm2 : t -> float
+val normalize : t -> unit
+val probability : t -> int -> float
+val probabilities : t -> float array
+
+val inner : t -> t -> Complex.t
+val fidelity_pure : t -> t -> float
+(** |<a|b>|^2. *)
+
+val apply_matrix : t -> Mat.t -> int array -> unit
+(** Apply a 2^k x 2^k matrix to the listed qubits; [qubits.(0)] is the
+    most significant bit of the matrix index.  The matrix need not be
+    unitary (the density simulator applies superoperators). *)
+
+val apply_instr : t -> Qcir.Instr.t -> unit
+val run_circuit : Qcir.Circuit.t -> t
+val run_circuit_on : t -> Qcir.Circuit.t -> unit

@@ -1,0 +1,102 @@
+(* Tests for the calibration cost model (Sec IX). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let m = Calibration.Model.default
+
+let test_per_type_pair_breakdown () =
+  (* 5 angle tune-ups x 100 + 250 tomography + 1000 x 10 XEB *)
+  check_int "per pair" ((5 * 100) + 250 + 10000) (Calibration.Model.circuits_per_type_pair m)
+
+let test_headline_numbers () =
+  (* 54-qubit device, 10 gate types: ~1e7 circuits (Sec IX) *)
+  let c =
+    Calibration.Model.total_circuits m
+      ~n_pairs:(Calibration.Model.grid_pairs 54)
+      ~n_types:10
+  in
+  check_bool "order 1e7" true (c > 5_000_000 && c < 20_000_000)
+
+let test_thousand_qubits () =
+  let c =
+    Calibration.Model.total_circuits m
+      ~n_pairs:(Calibration.Model.grid_pairs 1000)
+      ~n_types:10
+  in
+  check_bool "order 1e8+" true (c > 100_000_000)
+
+let test_grid_pairs () =
+  (* 54 qubits as a near-square grid: 7x8 = 56 slots -> 2*7*8 - 7 - 8 = 97 *)
+  check_int "54" 97 (Calibration.Model.grid_pairs 54);
+  (* 9 qubits = 3x3 grid: 12 edges *)
+  check_int "9" 12 (Calibration.Model.grid_pairs 9)
+
+let test_linear_scaling () =
+  let c1 = Calibration.Model.total_circuits m ~n_pairs:100 ~n_types:1 in
+  let c4 = Calibration.Model.total_circuits m ~n_pairs:100 ~n_types:4 in
+  check_int "linear in types" (4 * c1) c4;
+  let p2 = Calibration.Model.total_circuits m ~n_pairs:200 ~n_types:1 in
+  check_int "linear in pairs" (2 * c1) p2
+
+let test_time_models () =
+  Alcotest.(check (float 1e-9)) "serial" 400.0
+    (Calibration.Model.time_hours_serial m ~n_pairs:100 ~n_types:2);
+  Alcotest.(check (float 1e-9)) "parallel" 16.0
+    (Calibration.Model.time_hours_parallel m ~n_types:2)
+
+let test_continuous_overhead () =
+  (* 525 types vs 8 types: ~66x, i.e. around two orders of magnitude in
+     combination with the per-type pair costs the paper cites *)
+  let f = Calibration.Model.continuous_overhead_factor ~n_types:8 in
+  check_bool "~66x" true (f > 60.0 && f < 70.0);
+  let f1 = Calibration.Model.continuous_overhead_factor ~n_types:1 in
+  check_bool "525x vs single" true (Float.abs (f1 -. 525.0) < 1e-9)
+
+let test_sweep_rows () =
+  let rows =
+    Calibration.Sweep.run ~device_sizes:[ 8; 54 ] ~type_counts:[ 1; 10 ] ()
+  in
+  check_int "4 rows" 4 (List.length rows);
+  List.iter
+    (fun r ->
+      check_bool "positive" true (r.Calibration.Sweep.circuits > 0);
+      check_bool "hours" true (r.Calibration.Sweep.hours_serial > 0.0))
+    rows
+
+let test_sweep_monotone () =
+  let rows = Calibration.Sweep.run ~device_sizes:[ 54 ] ~type_counts:[ 1; 2; 3; 4 ] () in
+  let circuits = List.map (fun r -> r.Calibration.Sweep.circuits) rows in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  check_bool "monotone in types" true (increasing circuits)
+
+let prop_total_positive =
+  QCheck.Test.make ~count:50 ~name:"totals positive and linear"
+    QCheck.(pair (int_range 1 2000) (int_range 1 20))
+    (fun (pairs, types) ->
+      let c = Calibration.Model.total_circuits m ~n_pairs:pairs ~n_types:types in
+      c = pairs * types * Calibration.Model.circuits_per_type_pair m)
+
+let () =
+  Alcotest.run "calibration"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "per type-pair" `Quick test_per_type_pair_breakdown;
+          Alcotest.test_case "headline 1e7" `Quick test_headline_numbers;
+          Alcotest.test_case "1000 qubits" `Quick test_thousand_qubits;
+          Alcotest.test_case "grid pairs" `Quick test_grid_pairs;
+          Alcotest.test_case "linear scaling" `Quick test_linear_scaling;
+          Alcotest.test_case "time models" `Quick test_time_models;
+          Alcotest.test_case "continuous overhead" `Quick test_continuous_overhead;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "rows" `Quick test_sweep_rows;
+          Alcotest.test_case "monotone" `Quick test_sweep_monotone;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_total_positive ]);
+    ]

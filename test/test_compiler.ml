@@ -1,0 +1,273 @@
+(* Tests for instruction sets, placement, routing and the end-to-end
+   compilation pipeline. *)
+
+open Linalg
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fast_options =
+  {
+    Compiler.Pipeline.default_options with
+    nuop = { Decompose.Nuop.default_options with starts = 3 };
+  }
+
+(* ---------- Isa ---------- *)
+
+let test_isa_sizes () =
+  check_int "S1" 1 (Compiler.Isa.size Compiler.Isa.s1);
+  check_int "G2" 3 (Compiler.Isa.size Compiler.Isa.g2);
+  check_int "G7" 8 (Compiler.Isa.size Compiler.Isa.g7);
+  check_int "R5" 6 (Compiler.Isa.size Compiler.Isa.r5);
+  check_int "all sets" 22 (List.length Compiler.Isa.all)
+
+let test_isa_table2_membership () =
+  (* Table II: G7 = S1..S7 + SWAP; R5 includes SWAP but not SYC *)
+  check_bool "g7 has swap" true (Compiler.Isa.mem Compiler.Isa.g7 Gates.Gate_type.swap_type);
+  check_bool "g7 has syc" true (Compiler.Isa.mem Compiler.Isa.g7 Gates.Gate_type.s1);
+  check_bool "r5 no syc" false (Compiler.Isa.mem Compiler.Isa.r5 Gates.Gate_type.s1);
+  check_bool "r5 has swap" true (Compiler.Isa.mem Compiler.Isa.r5 Gates.Gate_type.swap_type);
+  check_bool "r1 = {cz, iswap}" true
+    (Compiler.Isa.mem Compiler.Isa.r1 Gates.Gate_type.s3
+    && Compiler.Isa.mem Compiler.Isa.r1 Gates.Gate_type.s4)
+
+let test_isa_continuous () =
+  check_bool "full_fsim" true (Compiler.Isa.is_continuous Compiler.Isa.full_fsim);
+  check_bool "g7 discrete" false (Compiler.Isa.is_continuous Compiler.Isa.g7)
+
+let test_isa_find () =
+  check_bool "finds G3" true
+    (match Compiler.Isa.find "G3" with
+    | Some isa -> Compiler.Isa.size isa = 4
+    | None -> false);
+  check_bool "unknown" true (Compiler.Isa.find "nope" = None)
+
+(* ---------- Mapping ---------- *)
+
+let test_mapping_trivial () =
+  let cal = Device.Aspen8.ring_device () in
+  match Compiler.Mapping.trivial cal 4 with
+  | None -> Alcotest.fail "expected placement"
+  | Some p ->
+    check_int "size" 4 (Array.length p);
+    let topo = Device.Calibration.topology cal in
+    for k = 0 to 2 do
+      check_bool "adjacent" true (Device.Topology.are_adjacent topo p.(k) p.(k + 1))
+    done
+
+let test_mapping_best_line_prefers_fidelity () =
+  let cal = Device.Aspen8.ring_device () in
+  let isa = Compiler.Isa.s3 in
+  match Compiler.Mapping.best_line cal isa 3 with
+  | None -> Alcotest.fail "expected placement"
+  | Some p ->
+    (* the best CZ path should score at least as well as every other path *)
+    let best_score = Compiler.Mapping.path_score cal isa (Array.to_list p) in
+    List.iter
+      (fun path ->
+        check_bool "optimal" true
+          (best_score >= Compiler.Mapping.path_score cal isa path -. 1e-12))
+      (Compiler.Mapping.enumerate_paths (Device.Calibration.topology cal) 3 ~limit:1000)
+
+let test_enumerate_paths () =
+  let topo = Device.Topology.line 4 in
+  (* simple paths of 3 vertices in a 4-line: [012],[123] in both directions *)
+  let paths = Compiler.Mapping.enumerate_paths topo 3 ~limit:100 in
+  check_int "count" 4 (List.length paths)
+
+(* ---------- Router ---------- *)
+
+let test_router_adjacency () =
+  let topology = Device.Topology.ring 8 in
+  let rng = Rng.create 5 in
+  let circuit = Apps.Qv.circuit rng 5 in
+  let routed =
+    Compiler.Router.route ~topology ~placement:[| 0; 1; 2; 3; 4 |] circuit
+  in
+  Qcir.Circuit.iter
+    (fun i ->
+      if Qcir.Instr.is_two_qubit i then begin
+        let qs = Qcir.Instr.qubits i in
+        check_bool "adjacent" true (Device.Topology.are_adjacent topology qs.(0) qs.(1))
+      end)
+    routed.Compiler.Router.circuit
+
+let test_router_no_swaps_when_adjacent () =
+  let topology = Device.Topology.line 3 in
+  let c = Qcir.Circuit.add_gate (Qcir.Circuit.empty 2) Gates.Gate.cz [| 0; 1 |] in
+  let routed = Compiler.Router.route ~topology ~placement:[| 0; 1 |] c in
+  check_int "no swaps" 0 routed.Compiler.Router.swap_count
+
+let test_router_semantics_preserved () =
+  (* simulate the routed circuit and compare with the logical circuit
+     after permuting qubits by the final layout *)
+  let topology = Device.Topology.line 4 in
+  let rng = Rng.create 6 in
+  let circuit = Apps.Qv.circuit rng 4 in
+  let routed = Compiler.Router.route ~topology ~placement:[| 0; 1; 2; 3 |] circuit in
+  let logical = Sim.State.run_circuit circuit in
+  let physical = Sim.State.run_circuit routed.Compiler.Router.circuit in
+  (* amplitude of physical index must equal logical amplitude with bits
+     permuted: logical qubit l lives at physical position final_layout(l) *)
+  let layout = routed.Compiler.Router.final_layout in
+  let dim = Sim.State.dim logical in
+  let ok = ref true in
+  for x = 0 to dim - 1 do
+    let phys_index = ref 0 in
+    for l = 0 to 3 do
+      if (x lsr l) land 1 = 1 then phys_index := !phys_index lor (1 lsl layout.(l))
+    done;
+    let a = Sim.State.amplitude logical x in
+    let b = Sim.State.amplitude physical !phys_index in
+    if Complex.norm (Complex.sub a b) > 1e-7 then ok := false
+  done;
+  check_bool "semantics" true !ok
+
+let test_router_distant_pair () =
+  let topology = Device.Topology.line 5 in
+  let c = Qcir.Circuit.add_gate (Qcir.Circuit.empty 2) Gates.Gate.cz [| 0; 1 |] in
+  (* logical qubits placed at opposite ends *)
+  let routed = Compiler.Router.route ~topology ~placement:[| 0; 4 |] c in
+  check_int "3 swaps" 3 routed.Compiler.Router.swap_count
+
+(* ---------- Pipeline ---------- *)
+
+let small_circuit () =
+  let rng = Rng.create 7 in
+  Apps.Qv.circuit rng 3
+
+let test_pipeline_hardware_gates_only () =
+  let cal = Device.Sycamore.line_device 4 in
+  let compiled =
+    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Compiler.Isa.g2
+      (small_circuit ())
+  in
+  let allowed =
+    "u3" :: List.map Gates.Gate_type.name (Compiler.Isa.gate_types Compiler.Isa.g2)
+  in
+  Qcir.Circuit.iter
+    (fun i ->
+      let name = Gates.Gate.name (Qcir.Instr.gate i) in
+      let base = if String.length name >= 2 && String.sub name 0 2 = "u3" then "u3" else name in
+      check_bool (Printf.sprintf "gate %s allowed" name) true (List.mem base allowed))
+    compiled.Compiler.Pipeline.circuit
+
+let test_pipeline_exact_reproduces_logical () =
+  (* exact compile + noiseless run = logical distribution *)
+  let cal = Device.Sycamore.line_device 4 in
+  let circuit = small_circuit () in
+  let options = { fast_options with approximate = false; exact_threshold = 1.0 -. 1e-8 } in
+  let compiled = Compiler.Pipeline.compile ~options ~cal ~isa:Compiler.Isa.s3 circuit in
+  let probs = Sim.Noisy.output_probabilities Sim.Noisy.ideal compiled.Compiler.Pipeline.circuit in
+  let logical = Compiler.Pipeline.logical_probabilities compiled probs in
+  let expect = Sim.State.probabilities (Sim.State.run_circuit circuit) in
+  Array.iteri
+    (fun k p -> check_bool "close" true (Float.abs (p -. logical.(k)) < 1e-4))
+    expect
+
+let test_pipeline_swap_native_reduces_count () =
+  let cal = Device.Sycamore.line_device 6 in
+  let rng = Rng.create 8 in
+  let circuit = Apps.Qaoa.circuit rng 4 in
+  let with_swap =
+    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Compiler.Isa.g7 circuit
+  in
+  let without =
+    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Compiler.Isa.g6 circuit
+  in
+  check_bool "fewer gates with SWAP" true
+    (with_swap.Compiler.Pipeline.twoq_count < without.Compiler.Pipeline.twoq_count)
+
+let test_pipeline_errors_aligned () =
+  let cal = Device.Sycamore.line_device 4 in
+  let compiled =
+    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Compiler.Isa.s1
+      (small_circuit ())
+  in
+  check_int "one error per instruction"
+    (Qcir.Circuit.length compiled.Compiler.Pipeline.circuit)
+    (Array.length compiled.Compiler.Pipeline.twoq_errors);
+  let idx = ref 0 in
+  Qcir.Circuit.iter
+    (fun i ->
+      let e = compiled.Compiler.Pipeline.twoq_errors.(!idx) in
+      if Qcir.Instr.is_two_qubit i then check_bool "2q has error" true (e > 0.0)
+      else Alcotest.(check (float 0.0)) "1q zero" 0.0 e;
+      incr idx)
+    compiled.Compiler.Pipeline.circuit
+
+let test_pipeline_adaptive_beats_blind () =
+  (* on a device with strong cross-type variation, adaptive selection
+     should never produce lower estimated overall fidelity *)
+  let cal = Device.Aspen8.ring_device () in
+  let u = Qr.haar_special_unitary (Rng.create 9) 4 in
+  let isa = Compiler.Isa.r2 in
+  let adaptive =
+    Compiler.Pipeline.decompose_on_edge ~options:fast_options ~cal ~isa ~edge:(2, 3)
+      ~target:u
+  in
+  let blind =
+    Compiler.Pipeline.decompose_on_edge
+      ~options:{ fast_options with adaptive = false }
+      ~cal ~isa ~edge:(2, 3) ~target:u
+  in
+  check_bool "adaptive >= blind" true
+    (Decompose.Nuop.overall_fidelity adaptive
+    >= Decompose.Nuop.overall_fidelity blind -. 1e-9)
+
+let test_pipeline_logical_probabilities_marginalize () =
+  let cal = Device.Sycamore.line_device 5 in
+  let compiled =
+    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Compiler.Isa.s2
+      (small_circuit ())
+  in
+  let probs = Sim.Noisy.output_probabilities Sim.Noisy.ideal compiled.Compiler.Pipeline.circuit in
+  let logical = Compiler.Pipeline.logical_probabilities compiled probs in
+  check_int "logical dim" 8 (Array.length logical);
+  Alcotest.(check (float 1e-6)) "normalized" 1.0 (Array.fold_left ( +. ) 0.0 logical)
+
+let test_pipeline_full_family () =
+  let cal = Device.Sycamore.line_device 4 in
+  let compiled =
+    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Compiler.Isa.full_fsim
+      (small_circuit ())
+  in
+  (* continuous set: on average at most ~2 gates per unitary + routing *)
+  check_bool "compact" true (compiled.Compiler.Pipeline.twoq_count <= 14);
+  let probs = Sim.Noisy.output_probabilities Sim.Noisy.ideal compiled.Compiler.Pipeline.circuit in
+  Alcotest.(check (float 1e-6)) "normalized" 1.0 (Array.fold_left ( +. ) 0.0 probs)
+
+let () =
+  Alcotest.run "compiler"
+    [
+      ( "isa",
+        [
+          Alcotest.test_case "sizes" `Quick test_isa_sizes;
+          Alcotest.test_case "Table II membership" `Quick test_isa_table2_membership;
+          Alcotest.test_case "continuous" `Quick test_isa_continuous;
+          Alcotest.test_case "find" `Quick test_isa_find;
+        ] );
+      ( "mapping",
+        [
+          Alcotest.test_case "trivial" `Quick test_mapping_trivial;
+          Alcotest.test_case "best line" `Quick test_mapping_best_line_prefers_fidelity;
+          Alcotest.test_case "enumerate" `Quick test_enumerate_paths;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "adjacency" `Quick test_router_adjacency;
+          Alcotest.test_case "no gratuitous swaps" `Quick test_router_no_swaps_when_adjacent;
+          Alcotest.test_case "semantics" `Quick test_router_semantics_preserved;
+          Alcotest.test_case "distant pair" `Quick test_router_distant_pair;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "hardware gates only" `Quick test_pipeline_hardware_gates_only;
+          Alcotest.test_case "exact reproduces logical" `Quick test_pipeline_exact_reproduces_logical;
+          Alcotest.test_case "native SWAP helps" `Quick test_pipeline_swap_native_reduces_count;
+          Alcotest.test_case "errors aligned" `Quick test_pipeline_errors_aligned;
+          Alcotest.test_case "adaptive selection" `Quick test_pipeline_adaptive_beats_blind;
+          Alcotest.test_case "logical marginalization" `Quick test_pipeline_logical_probabilities_marginalize;
+          Alcotest.test_case "full family" `Quick test_pipeline_full_family;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+(* Integration tests: the experiment machinery end-to-end at tiny scale. *)
+
+open Linalg
+
+let check_bool = Alcotest.(check bool)
+
+let tiny_nuop = { Decompose.Nuop.default_options with starts = 2 }
+
+let tiny_options = { Compiler.Pipeline.default_options with nuop = tiny_nuop }
+
+let test_config_scales () =
+  check_bool "paper > quick" true Core.Config.(paper.qv_count > quick.qv_count);
+  check_bool "grid 19" true (Core.Config.paper.Core.Config.fig8_grid = 19)
+
+let test_study_qv_hop () =
+  let rng = Rng.create 31 in
+  let cal = Device.Sycamore.line_device 4 in
+  let circuits = Apps.Qv.circuits rng ~count:2 3 in
+  let r =
+    Core.Study.evaluate_suite ~options:tiny_options ~cal ~isa:Compiler.Isa.g2
+      ~metric:Core.Study.Hop circuits
+  in
+  check_bool "hop plausible" true
+    (r.Core.Study.mean_metric > 0.3 && r.Core.Study.mean_metric <= 1.0);
+  check_bool "gates counted" true (r.Core.Study.mean_twoq > 0.0)
+
+let test_study_metrics_distinct () =
+  let rng = Rng.create 32 in
+  let cal = Device.Sycamore.line_device 4 in
+  let circuit = Apps.Qaoa.circuit rng 3 in
+  let xed, _, _ =
+    Core.Study.evaluate_circuit ~options:tiny_options ~cal ~isa:Compiler.Isa.s3
+      ~metric:Core.Study.Xed circuit
+  in
+  check_bool "xed bounded" true (xed <= 1.0 +. 1e-9)
+
+let test_study_state_fidelity_noiseless () =
+  (* with an ideal device the QFT success metric must be ~1 *)
+  let topology = Device.Topology.line 3 in
+  let cal =
+    Device.Calibration.make ~topology ~oneq_error:[| 0.0; 0.0; 0.0 |]
+      ~readout_error:[| 0.0; 0.0; 0.0 |]
+      ~t1:[| infinity; infinity; infinity |]
+      ~t2:[| infinity; infinity; infinity |]
+      ~duration_1q:0.0 ~duration_2q:0.0
+      ~family_error:(fun _ _ -> 1e-6)
+      ()
+  in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun ty -> Device.Calibration.set_twoq_error cal e ty 1e-6)
+        (Compiler.Isa.gate_types Compiler.Isa.g2))
+    (Device.Topology.edges topology);
+  let circuit = Apps.Qft.circuit 3 in
+  let v, _, _ =
+    Core.Study.evaluate_circuit ~options:tiny_options ~cal ~isa:Compiler.Isa.g2
+      ~metric:Core.Study.State_fidelity circuit
+  in
+  check_bool "near 1" true (v > 0.99)
+
+let test_multi_gate_sets_not_worse () =
+  (* the headline claim at tiny scale: a multi-type set is at least as
+     good as the single-type sets it contains, on average *)
+  let rng = Rng.create 33 in
+  let cal = Device.Aspen8.ring_device () in
+  let circuits = Apps.Qaoa.circuits rng ~count:3 3 in
+  let eval isa =
+    (Core.Study.evaluate_suite ~options:tiny_options ~cal ~isa
+       ~metric:Core.Study.Xed circuits)
+      .Core.Study.mean_metric
+  in
+  let r1 = eval Compiler.Isa.r1 in
+  let s3 = eval Compiler.Isa.s3 in
+  let s4 = eval Compiler.Isa.s4 in
+  check_bool "r1 >= min(s3, s4)" true (r1 >= Float.min s3 s4 -. 0.05)
+
+let test_swap_native_instruction_reduction () =
+  (* R5's native SWAP must reduce two-qubit counts vs R4 on routed
+     workloads — the Fig 9/10 mechanism *)
+  let rng = Rng.create 34 in
+  let cal = Device.Aspen8.ring_device () in
+  let circuits = Apps.Qv.circuits rng ~count:2 4 in
+  let gates isa =
+    (Core.Study.evaluate_suite ~options:tiny_options ~cal ~isa
+       ~metric:Core.Study.Hop circuits)
+      .Core.Study.mean_twoq
+  in
+  check_bool "r5 < r4 gates" true (gates Compiler.Isa.r5 < gates Compiler.Isa.r4)
+
+let test_report_table_shapes () =
+  Core.Report.table ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ];
+  check_bool "printed" true true
+
+let test_report_bar () =
+  Alcotest.(check int) "width" 10
+    (String.length (Core.Report.bar ~width:10 ~max_value:1.0 0.5));
+  check_bool "half filled" true
+    (String.length (String.trim (Core.Report.bar ~width:10 ~max_value:1.0 0.5)) = 5)
+
+let test_report_heat_digit () =
+  Alcotest.(check string) "clamps" "9" (Core.Report.heat_digit 15.0);
+  Alcotest.(check string) "rounds" "3" (Core.Report.heat_digit 2.6);
+  Alcotest.(check string) "nan" "." (Core.Report.heat_digit Float.nan)
+
+let () =
+  Alcotest.run "core"
+    [
+      ("config", [ Alcotest.test_case "scales" `Quick test_config_scales ]);
+      ( "study",
+        [
+          Alcotest.test_case "qv hop" `Quick test_study_qv_hop;
+          Alcotest.test_case "xed bounded" `Quick test_study_metrics_distinct;
+          Alcotest.test_case "noiseless success ~ 1" `Quick test_study_state_fidelity_noiseless;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "multi-set not worse" `Slow test_multi_gate_sets_not_worse;
+          Alcotest.test_case "native SWAP reduction" `Slow test_swap_native_instruction_reduction;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table" `Quick test_report_table_shapes;
+          Alcotest.test_case "bar" `Quick test_report_bar;
+          Alcotest.test_case "heat digit" `Quick test_report_heat_digit;
+        ] );
+    ]

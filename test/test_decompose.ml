@@ -1,0 +1,458 @@
+(* Tests for the decomposition engine: templates, Weyl invariants, NuOp,
+   the Cirq-equivalent baseline and the cache. *)
+
+open Linalg
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fast_options = { Decompose.Nuop.default_options with starts = 3 }
+
+(* ---------- Template ---------- *)
+
+let test_template_param_count () =
+  let t = Decompose.Template.create Gates.Gate_type.s3 ~layers:3 in
+  check_int "fixed" 24 (Decompose.Template.param_count t);
+  let tf = Decompose.Template.create Gates.Gate_type.Fsim_family ~layers:3 in
+  check_int "fsim family" (24 + 6) (Decompose.Template.param_count tf);
+  let tx = Decompose.Template.create Gates.Gate_type.Xy_family ~layers:2 in
+  check_int "xy family" (18 + 2) (Decompose.Template.param_count tx)
+
+let test_template_evaluate_unitary () =
+  let rng = Rng.create 2 in
+  let t = Decompose.Template.create Gates.Gate_type.s1 ~layers:2 in
+  for _ = 1 to 5 do
+    let params =
+      Array.init (Decompose.Template.param_count t) (fun _ ->
+          Rng.uniform rng (-.Float.pi) Float.pi)
+    in
+    check_bool "unitary" true
+      (Mat.is_unitary ~eps:1e-9 (Decompose.Template.evaluate t params))
+  done
+
+let test_template_zero_layers_local () =
+  let t = Decompose.Template.create Gates.Gate_type.s3 ~layers:0 in
+  let params = [| 0.3; -0.2; 0.8; 1.0; 0.0; -1.4 |] in
+  let u = Decompose.Template.evaluate t params in
+  (* a 0-layer template is a tensor product of the two U3s *)
+  let expect =
+    Mat.kron (Gates.Oneq.u3 0.3 (-0.2) 0.8) (Gates.Oneq.u3 1.0 0.0 (-1.4))
+  in
+  check_bool "kron" true (Mat.equal ~eps:1e-10 u expect)
+
+let test_template_fidelity_self () =
+  (* the template reproduces its own evaluation with fidelity 1 *)
+  let t = Decompose.Template.create Gates.Gate_type.s2 ~layers:2 in
+  let rng = Rng.create 5 in
+  let params =
+    Array.init (Decompose.Template.param_count t) (fun _ ->
+        Rng.uniform rng (-.Float.pi) Float.pi)
+  in
+  let target = Mat.copy (Decompose.Template.evaluate t params) in
+  Alcotest.(check (float 1e-9)) "fd = 1" 1.0 (Decompose.Template.fidelity t params ~target)
+
+let test_template_family_gate_angles () =
+  let t = Decompose.Template.create Gates.Gate_type.Fsim_family ~layers:2 in
+  let n = Decompose.Template.param_count t in
+  let params = Array.init n float_of_int in
+  (* gate angles sit after the 18 single-qubit angles *)
+  Alcotest.(check (array (float 0.0))) "layer 1" [| 18.0; 19.0 |]
+    (Decompose.Template.gate_angles t params 1);
+  Alcotest.(check (array (float 0.0))) "layer 2" [| 20.0; 21.0 |]
+    (Decompose.Template.gate_angles t params 2)
+
+(* ---------- Weyl ---------- *)
+
+let test_weyl_known_counts () =
+  check_int "identity" 0 (Decompose.Weyl.cnot_count (Mat.identity 4));
+  check_int "cnot" 1 (Decompose.Weyl.cnot_count Gates.Twoq.cnot);
+  check_int "cz" 1 (Decompose.Weyl.cnot_count Gates.Twoq.cz);
+  check_int "iswap" 2 (Decompose.Weyl.cnot_count Gates.Twoq.iswap);
+  check_int "swap" 3 (Decompose.Weyl.cnot_count Gates.Twoq.swap);
+  check_int "zz" 2 (Decompose.Weyl.cnot_count (Gates.Twoq.zz 0.3));
+  check_int "sqrt_iswap" 2 (Decompose.Weyl.cnot_count Gates.Twoq.sqrt_iswap)
+
+let test_weyl_local_gates () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 5 do
+    let local = Mat.kron (Qr.haar_unitary rng 2) (Qr.haar_unitary rng 2) in
+    check_int "local = 0" 0 (Decompose.Weyl.cnot_count local);
+    check_bool "is_local" true (Decompose.Weyl.is_local local)
+  done
+
+let test_weyl_random_su4 () =
+  let rng = Rng.create 9 in
+  (* generic unitaries need 3 *)
+  let counts = List.init 8 (fun _ -> Decompose.Weyl.cnot_count (Qr.haar_unitary rng 4)) in
+  check_bool "all 3" true (List.for_all (fun c -> c = 3) counts)
+
+let test_makhlin_local_invariance () =
+  let rng = Rng.create 10 in
+  let u = Qr.haar_unitary rng 4 in
+  let l1 = Mat.kron (Qr.haar_unitary rng 2) (Qr.haar_unitary rng 2) in
+  let l2 = Mat.kron (Qr.haar_unitary rng 2) (Qr.haar_unitary rng 2) in
+  let dressed = Mat.mul l1 (Mat.mul u l2) in
+  check_bool "invariant" true (Decompose.Weyl.locally_equivalent u dressed)
+
+let test_makhlin_identity_values () =
+  let g1, g2 = Decompose.Weyl.makhlin_invariants (Mat.identity 4) in
+  check_bool "G1 = 1" true (Cplx.equal ~eps:1e-9 g1 Cplx.one);
+  Alcotest.(check (float 1e-9)) "G2 = 3" 3.0 g2
+
+let test_makhlin_cnot_values () =
+  let g1, g2 = Decompose.Weyl.makhlin_invariants Gates.Twoq.cnot in
+  check_bool "G1 = 0" true (Cplx.norm g1 < 1e-9);
+  Alcotest.(check (float 1e-9)) "G2 = 1" 1.0 g2
+
+let test_weyl_coordinates_known () =
+  let close3 (a1, a2, a3) (b1, b2, b3) =
+    Float.abs (a1 -. b1) < 1e-5 && Float.abs (a2 -. b2) < 1e-5
+    && Float.abs (Float.abs a3 -. Float.abs b3) < 1e-5
+  in
+  let q = Float.pi /. 4.0 in
+  check_bool "identity" true (close3 (Decompose.Weyl.coordinates (Mat.identity 4)) (0.0, 0.0, 0.0));
+  check_bool "cnot" true (close3 (Decompose.Weyl.coordinates Gates.Twoq.cnot) (q, 0.0, 0.0));
+  check_bool "iswap" true (close3 (Decompose.Weyl.coordinates Gates.Twoq.iswap) (q, q, 0.0));
+  check_bool "swap" true (close3 (Decompose.Weyl.coordinates Gates.Twoq.swap) (q, q, q));
+  check_bool "sqrt_iswap" true
+    (close3 (Decompose.Weyl.coordinates Gates.Twoq.sqrt_iswap) (q /. 2.0, q /. 2.0, 0.0))
+
+let test_weyl_coordinates_roundtrip () =
+  let rng = Rng.create 42 in
+  for _ = 1 to 5 do
+    let u = Qr.haar_special_unitary rng 4 in
+    let c1, c2, c3 = Decompose.Weyl.coordinates u in
+    check_bool "verified class" true
+      (Decompose.Weyl.locally_equivalent ~eps:1e-5 (Decompose.Weyl.canonical_gate c1 c2 c3) u);
+    check_bool "ordering" true (c1 >= c2 && c2 >= Float.abs c3 -. 1e-9)
+  done
+
+let test_weyl_canonical_gate_unitary () =
+  check_bool "unitary" true
+    (Mat.is_unitary ~eps:1e-10 (Decompose.Weyl.canonical_gate 0.3 0.2 0.1))
+
+let test_weyl_distinguishes () =
+  check_bool "cz vs iswap" false
+    (Decompose.Weyl.locally_equivalent Gates.Twoq.cz Gates.Twoq.iswap)
+
+(* ---------- NuOp exact ---------- *)
+
+let test_nuop_su4_counts () =
+  let rng = Rng.create 12 in
+  let u = Qr.haar_special_unitary rng 4 in
+  let d = Decompose.Nuop.decompose_exact ~options:fast_options Gates.Gate_type.s3 ~target:u in
+  check_int "3 CZ" 3 d.Decompose.Nuop.layers;
+  check_bool "fd ~ 1" true (d.Decompose.Nuop.fd > 1.0 -. 1e-6)
+
+let test_nuop_zz_two_cz () =
+  let d =
+    Decompose.Nuop.decompose_exact ~options:fast_options Gates.Gate_type.s3
+      ~target:(Gates.Twoq.zz 0.7)
+  in
+  check_int "2 CZ" 2 d.Decompose.Nuop.layers
+
+let test_nuop_cz_self () =
+  let d =
+    Decompose.Nuop.decompose_exact ~options:fast_options Gates.Gate_type.s3
+      ~target:Gates.Twoq.cz
+  in
+  check_int "1 CZ" 1 d.Decompose.Nuop.layers
+
+let test_nuop_swap_native () =
+  let d =
+    Decompose.Nuop.decompose_exact ~options:fast_options Gates.Gate_type.swap_type
+      ~target:Gates.Twoq.swap
+  in
+  check_int "1 SWAP" 1 d.Decompose.Nuop.layers
+
+let test_nuop_swap_needs_three_cz () =
+  let d =
+    Decompose.Nuop.decompose_exact ~options:fast_options Gates.Gate_type.s3
+      ~target:Gates.Twoq.swap
+  in
+  check_int "3 CZ" 3 d.Decompose.Nuop.layers
+
+let test_nuop_local_zero_layers () =
+  (* with min_layers = 0 a local unitary costs no two-qubit gates; the
+     paper's default (min_layers = 1) never elides gates *)
+  let rng = Rng.create 13 in
+  let local = Mat.kron (Qr.haar_unitary rng 2) (Qr.haar_unitary rng 2) in
+  let d =
+    Decompose.Nuop.decompose_exact
+      ~options:{ fast_options with min_layers = 0 }
+      Gates.Gate_type.s3 ~target:local
+  in
+  check_int "0 layers" 0 d.Decompose.Nuop.layers;
+  let d1 = Decompose.Nuop.decompose_exact ~options:fast_options Gates.Gate_type.s3 ~target:local in
+  check_bool "default never elides" true (d1.Decompose.Nuop.layers >= 1)
+
+let test_nuop_implemented_unitary_matches () =
+  let rng = Rng.create 14 in
+  let u = Qr.haar_special_unitary rng 4 in
+  let d = Decompose.Nuop.decompose_exact ~options:fast_options Gates.Gate_type.s2 ~target:u in
+  let impl = Decompose.Nuop.implemented_unitary d in
+  check_bool "matches up to phase" true (Mat.equal_up_to_phase ~eps:1e-4 impl u)
+
+let test_nuop_full_family_two_layers () =
+  let rng = Rng.create 15 in
+  let u = Qr.haar_special_unitary rng 4 in
+  let d =
+    Decompose.Nuop.decompose_exact ~options:fast_options Gates.Gate_type.Fsim_family
+      ~target:u
+  in
+  check_bool "<= 2 layers" true (d.Decompose.Nuop.layers <= 2);
+  check_bool "fd ~ 1" true (d.Decompose.Nuop.fd > 1.0 -. 1e-5)
+
+let test_nuop_near_identity () =
+  (* tiny controlled-phase: identity basin must be found *)
+  let d =
+    Decompose.Nuop.decompose_exact ~options:fast_options Gates.Gate_type.s3
+      ~target:(Gates.Twoq.cphase (Float.pi /. 512.0))
+  in
+  check_bool "<= 2 layers" true (d.Decompose.Nuop.layers <= 2)
+
+(* ---------- NuOp circuit emission ---------- *)
+
+let test_nuop_to_circuit_structure () =
+  let rng = Rng.create 16 in
+  let u = Qr.haar_special_unitary rng 4 in
+  let d = Decompose.Nuop.decompose_exact ~options:fast_options Gates.Gate_type.s3 ~target:u in
+  let c = Decompose.Nuop.to_circuit d ~n_qubits:2 ~qubits:(0, 1) in
+  check_int "2q count" d.Decompose.Nuop.layers (Qcir.Circuit.two_qubit_count c);
+  check_int "1q count" (2 * (d.Decompose.Nuop.layers + 1)) (Qcir.Circuit.one_qubit_count c)
+
+let test_nuop_circuit_simulates_to_target () =
+  (* run the emitted circuit through the state-vector simulator and check
+     the state matches the target unitary applied to |00> *)
+  let rng = Rng.create 17 in
+  let u = Qr.haar_special_unitary rng 4 in
+  let d = Decompose.Nuop.decompose_exact ~options:fast_options Gates.Gate_type.s3 ~target:u in
+  let c = Decompose.Nuop.to_circuit d ~n_qubits:2 ~qubits:(0, 1) in
+  let s = Sim.State.run_circuit c in
+  let expect = Sim.State.create 2 in
+  Sim.State.apply_matrix expect u [| 0; 1 |];
+  Alcotest.(check (float 1e-6)) "state fidelity" 1.0 (Sim.State.fidelity_pure s expect)
+
+(* ---------- NuOp approximate ---------- *)
+
+let test_approx_trades_layers () =
+  let rng = Rng.create 18 in
+  let u = Qr.haar_special_unitary rng 4 in
+  (* severe hardware error: fewer layers should win *)
+  let fh layers = 0.90 ** float_of_int layers in
+  let d = Decompose.Nuop.decompose_approx ~options:fast_options ~fh Gates.Gate_type.s3 ~target:u in
+  let exact = Decompose.Nuop.decompose_exact ~options:fast_options Gates.Gate_type.s3 ~target:u in
+  check_bool "fewer or equal layers" true
+    (d.Decompose.Nuop.layers <= exact.Decompose.Nuop.layers);
+  check_bool "better overall" true
+    (Decompose.Nuop.overall_fidelity d
+    >= (exact.Decompose.Nuop.fd *. fh exact.Decompose.Nuop.layers) -. 1e-9)
+
+let test_approx_perfect_hardware_is_exact () =
+  let rng = Rng.create 19 in
+  let u = Qr.haar_special_unitary rng 4 in
+  let d =
+    Decompose.Nuop.decompose_approx ~options:fast_options
+      ~fh:(fun _ -> 1.0)
+      Gates.Gate_type.s3 ~target:u
+  in
+  check_bool "fd ~ 1" true (d.Decompose.Nuop.fd > 1.0 -. 1e-6)
+
+let test_select_best () =
+  let mk fd fh = { Decompose.Nuop.gate_type = Gates.Gate_type.s3; layers = 1; params = [||]; fd; fh } in
+  let best = Decompose.Nuop.select_best [ mk 0.9 0.9; mk 0.99 0.9; mk 0.9 0.5 ] in
+  Alcotest.(check (float 1e-12)) "picks max fu" (0.99 *. 0.9)
+    (Decompose.Nuop.overall_fidelity best);
+  Alcotest.check_raises "empty" (Invalid_argument "Nuop.select_best: no candidates")
+    (fun () -> ignore (Decompose.Nuop.select_best []))
+
+(* ---------- fd curves & cache ---------- *)
+
+let test_fd_curve_monotone () =
+  let rng = Rng.create 20 in
+  let u = Qr.haar_special_unitary rng 4 in
+  let curve = Decompose.Nuop.fd_curve ~options:fast_options Gates.Gate_type.s3 ~target:u in
+  let fds = Array.map (fun (_, _, fd) -> fd) curve in
+  for i = 1 to Array.length fds - 1 do
+    check_bool "non-decreasing (within tolerance)" true (fds.(i) >= fds.(i - 1) -. 0.02)
+  done;
+  check_bool "converges" true (fds.(Array.length fds - 1) > 1.0 -. 1e-6)
+
+let test_cache_hit () =
+  Decompose.Cache.clear ();
+  let rng = Rng.create 21 in
+  let u = Qr.haar_special_unitary rng 4 in
+  let _ = Decompose.Cache.fd_curve ~options:fast_options Gates.Gate_type.s3 ~target:u in
+  let size1 = Decompose.Cache.size () in
+  let _ = Decompose.Cache.fd_curve ~options:fast_options Gates.Gate_type.s3 ~target:u in
+  check_int "no growth on hit" size1 (Decompose.Cache.size ());
+  let _ = Decompose.Cache.fd_curve ~options:fast_options Gates.Gate_type.s2 ~target:u in
+  check_int "grows on new type" (size1 + 1) (Decompose.Cache.size ())
+
+let test_cache_modes_consistent () =
+  Decompose.Cache.clear ();
+  let rng = Rng.create 22 in
+  let u = Qr.haar_special_unitary rng 4 in
+  let direct = Decompose.Nuop.decompose_exact ~options:fast_options Gates.Gate_type.s3 ~target:u in
+  let cached = Decompose.Cache.decompose_exact ~options:fast_options Gates.Gate_type.s3 ~target:u in
+  check_int "same layers" direct.Decompose.Nuop.layers cached.Decompose.Nuop.layers
+
+(* ---------- KAK ---------- *)
+
+let test_kak_random () =
+  let rng = Rng.create 51 in
+  for _ = 1 to 3 do
+    let u = Qr.haar_special_unitary rng 4 in
+    let d = Decompose.Kak.decompose u in
+    check_bool "reconstructs" true
+      (Mat.equal_up_to_phase ~eps:1e-6 (Decompose.Kak.reconstruct d) u);
+    let c1, c2, c3 = d.Decompose.Kak.coordinates in
+    check_bool "chamber order" true (c1 >= c2 && c2 >= Float.abs c3 -. 1e-9)
+  done
+
+let test_kak_named_gates () =
+  List.iter
+    (fun m ->
+      let d = Decompose.Kak.decompose m in
+      check_bool "reconstructs" true
+        (Mat.equal_up_to_phase ~eps:1e-6 (Decompose.Kak.reconstruct d) m))
+    [ Gates.Twoq.cz; Gates.Twoq.swap; Gates.Twoq.syc; Gates.Twoq.zz 0.4 ]
+
+let test_kak_interaction_strength () =
+  let d = Decompose.Kak.decompose Gates.Twoq.swap in
+  Alcotest.(check (float 1e-5)) "swap strength" (3.0 *. Float.pi /. 4.0)
+    (Decompose.Kak.interaction_strength d);
+  let d0 = Decompose.Kak.decompose (Mat.identity 4) in
+  Alcotest.(check (float 1e-5)) "identity strength" 0.0
+    (Decompose.Kak.interaction_strength d0)
+
+let test_kak_validation () =
+  Alcotest.check_raises "bad dims" (Invalid_argument "Kak.decompose: need 4x4")
+    (fun () -> ignore (Decompose.Kak.decompose (Mat.identity 2)))
+
+(* ---------- Cirq-like baseline ---------- *)
+
+let test_cirq_counts () =
+  let rng = Rng.create 23 in
+  let u = Qr.haar_special_unitary rng 4 in
+  let count ty =
+    match Decompose.Cirq_like.decompose ~target_gate:ty u with
+    | Some r -> r.Decompose.Cirq_like.gate_count
+    | None -> -1
+  in
+  check_int "3 CZ" 3 (count Gates.Gate_type.s3);
+  check_int "6 SYC" 6 (count Gates.Gate_type.s1);
+  check_int "4 iSWAP" 4 (count Gates.Gate_type.s4);
+  check_int "sqrt_iswap unsupported" (-1) (count Gates.Gate_type.s2)
+
+let test_cirq_zz () =
+  let zz = Gates.Twoq.zz 0.4 in
+  let count ty = (Option.get (Decompose.Cirq_like.decompose ~target_gate:ty zz)).Decompose.Cirq_like.gate_count in
+  check_int "2 CZ" 2 (count Gates.Gate_type.s3);
+  check_int "4 SYC" 4 (count Gates.Gate_type.s1);
+  check_int "2 sqrt_iswap" 2 (count Gates.Gate_type.s2)
+
+let test_cirq_local () =
+  let rng = Rng.create 24 in
+  let local = Mat.kron (Qr.haar_unitary rng 2) (Qr.haar_unitary rng 2) in
+  let r = Option.get (Decompose.Cirq_like.decompose ~target_gate:Gates.Gate_type.s3 local) in
+  check_int "0 gates" 0 r.Decompose.Cirq_like.gate_count
+
+(* qcheck: NuOp never beats the provable CZ lower bound *)
+let prop_nuop_respects_weyl_bound =
+  QCheck.Test.make ~count:8 ~name:"nuop CZ count >= weyl bound"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let u = Qr.haar_special_unitary rng 4 in
+      let bound = Decompose.Weyl.cnot_count u in
+      let d =
+        Decompose.Nuop.decompose_exact ~options:fast_options
+          ~threshold:(1.0 -. 1e-7) Gates.Gate_type.s3 ~target:u
+      in
+      (* only trust the comparison when the decomposition converged *)
+      d.Decompose.Nuop.fd < 1.0 -. 1e-7 || d.Decompose.Nuop.layers >= bound)
+
+let prop_template_unitary =
+  QCheck.Test.make ~count:25 ~name:"template evaluation is unitary"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let layers = Rng.int rng 4 in
+      let t = Decompose.Template.create Gates.Gate_type.s1 ~layers in
+      let params =
+        Array.init (Decompose.Template.param_count t) (fun _ ->
+            Rng.uniform rng (-.Float.pi) Float.pi)
+      in
+      Mat.is_unitary ~eps:1e-8 (Decompose.Template.evaluate t params))
+
+let () =
+  Alcotest.run "decompose"
+    [
+      ( "template",
+        [
+          Alcotest.test_case "param count" `Quick test_template_param_count;
+          Alcotest.test_case "unitary" `Quick test_template_evaluate_unitary;
+          Alcotest.test_case "0 layers = locals" `Quick test_template_zero_layers_local;
+          Alcotest.test_case "self fidelity" `Quick test_template_fidelity_self;
+          Alcotest.test_case "family angles" `Quick test_template_family_gate_angles;
+        ] );
+      ( "weyl",
+        [
+          Alcotest.test_case "known counts" `Quick test_weyl_known_counts;
+          Alcotest.test_case "locals are 0" `Quick test_weyl_local_gates;
+          Alcotest.test_case "random SU4 is 3" `Quick test_weyl_random_su4;
+          Alcotest.test_case "makhlin invariance" `Quick test_makhlin_local_invariance;
+          Alcotest.test_case "makhlin identity" `Quick test_makhlin_identity_values;
+          Alcotest.test_case "makhlin cnot" `Quick test_makhlin_cnot_values;
+          Alcotest.test_case "coordinates known" `Quick test_weyl_coordinates_known;
+          Alcotest.test_case "coordinates roundtrip" `Quick test_weyl_coordinates_roundtrip;
+          Alcotest.test_case "canonical gate" `Quick test_weyl_canonical_gate_unitary;
+          Alcotest.test_case "distinguishes classes" `Quick test_weyl_distinguishes;
+        ] );
+      ( "nuop_exact",
+        [
+          Alcotest.test_case "SU4 -> 3 CZ" `Quick test_nuop_su4_counts;
+          Alcotest.test_case "ZZ -> 2 CZ" `Quick test_nuop_zz_two_cz;
+          Alcotest.test_case "CZ -> 1 CZ" `Quick test_nuop_cz_self;
+          Alcotest.test_case "SWAP native" `Quick test_nuop_swap_native;
+          Alcotest.test_case "SWAP -> 3 CZ" `Quick test_nuop_swap_needs_three_cz;
+          Alcotest.test_case "local -> 0" `Quick test_nuop_local_zero_layers;
+          Alcotest.test_case "implemented unitary" `Quick test_nuop_implemented_unitary_matches;
+          Alcotest.test_case "full family <= 2" `Quick test_nuop_full_family_two_layers;
+          Alcotest.test_case "near identity" `Quick test_nuop_near_identity;
+        ] );
+      ( "nuop_circuit",
+        [
+          Alcotest.test_case "structure" `Quick test_nuop_to_circuit_structure;
+          Alcotest.test_case "simulates to target" `Quick test_nuop_circuit_simulates_to_target;
+        ] );
+      ( "nuop_approx",
+        [
+          Alcotest.test_case "trades layers" `Quick test_approx_trades_layers;
+          Alcotest.test_case "perfect hardware" `Quick test_approx_perfect_hardware_is_exact;
+          Alcotest.test_case "select best" `Quick test_select_best;
+        ] );
+      ( "curves_cache",
+        [
+          Alcotest.test_case "curve monotone" `Quick test_fd_curve_monotone;
+          Alcotest.test_case "cache hit" `Quick test_cache_hit;
+          Alcotest.test_case "cache consistent" `Quick test_cache_modes_consistent;
+        ] );
+      ( "kak",
+        [
+          Alcotest.test_case "random unitaries" `Quick test_kak_random;
+          Alcotest.test_case "named gates" `Quick test_kak_named_gates;
+          Alcotest.test_case "interaction strength" `Quick test_kak_interaction_strength;
+          Alcotest.test_case "validation" `Quick test_kak_validation;
+        ] );
+      ( "cirq_like",
+        [
+          Alcotest.test_case "generic counts" `Quick test_cirq_counts;
+          Alcotest.test_case "zz counts" `Quick test_cirq_zz;
+          Alcotest.test_case "local" `Quick test_cirq_local;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_nuop_respects_weyl_bound; prop_template_unitary ] );
+    ]

@@ -1,0 +1,224 @@
+(* Tests for topologies, calibration data and the device models. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- Topology ---------- *)
+
+let test_ring () =
+  let t = Device.Topology.ring 8 in
+  check_int "qubits" 8 (Device.Topology.n_qubits t);
+  check_int "edges" 8 (Device.Topology.edge_count t);
+  check_bool "adjacent" true (Device.Topology.are_adjacent t 7 0);
+  check_bool "not adjacent" false (Device.Topology.are_adjacent t 0 4);
+  check_bool "connected" true (Device.Topology.is_connected t)
+
+let test_line () =
+  let t = Device.Topology.line 5 in
+  check_int "edges" 4 (Device.Topology.edge_count t);
+  check_int "distance" 4 (Device.Topology.distance t 0 4)
+
+let test_grid () =
+  let t = Device.Topology.grid 6 9 in
+  check_int "qubits" 54 (Device.Topology.n_qubits t);
+  (* 2rc - r - c *)
+  check_int "edges" ((2 * 54) - 6 - 9) (Device.Topology.edge_count t);
+  check_bool "connected" true (Device.Topology.is_connected t)
+
+let test_shortest_path () =
+  let t = Device.Topology.ring 8 in
+  let p = Device.Topology.shortest_path t 0 3 in
+  check_int "length" 4 (List.length p);
+  Alcotest.(check (list int)) "path" [ 0; 1; 2; 3 ] p;
+  (* the other way around the ring is shorter for 0 -> 6 *)
+  Alcotest.(check (list int)) "wraps" [ 0; 7; 6 ] (Device.Topology.shortest_path t 0 6)
+
+let test_path_disconnected () =
+  let t = Device.Topology.of_edges 4 [ (0, 1); (2, 3) ] in
+  check_bool "disconnected" false (Device.Topology.is_connected t);
+  Alcotest.check_raises "raises" Not_found (fun () ->
+      ignore (Device.Topology.shortest_path t 0 3))
+
+let test_find_line () =
+  let t = Device.Topology.grid 3 3 in
+  (match Device.Topology.find_line t 5 with
+  | None -> Alcotest.fail "expected a 5-line in 3x3 grid"
+  | Some path ->
+    check_int "length" 5 (List.length path);
+    let rec adjacent_pairs = function
+      | a :: (b :: _ as rest) ->
+        check_bool "adjacent" true (Device.Topology.are_adjacent t a b);
+        adjacent_pairs rest
+      | [ _ ] | [] -> ()
+    in
+    adjacent_pairs path);
+  check_bool "too long" true (Device.Topology.find_line (Device.Topology.line 3) 4 = None)
+
+let test_of_edges_validation () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Topology.of_edges: self loop")
+    (fun () -> ignore (Device.Topology.of_edges 3 [ (1, 1) ]));
+  Alcotest.check_raises "range" (Invalid_argument "Topology.of_edges: qubit out of range")
+    (fun () -> ignore (Device.Topology.of_edges 3 [ (0, 3) ]))
+
+let test_canonical () =
+  Alcotest.(check (pair int int)) "ordered" (1, 2) (Device.Topology.canonical (2, 1))
+
+(* ---------- Calibration ---------- *)
+
+let make_cal () =
+  let topology = Device.Topology.line 3 in
+  Device.Calibration.make ~topology ~oneq_error:[| 0.001; 0.002; 0.003 |]
+    ~readout_error:[| 0.01; 0.02; 0.03 |] ~t1:[| 20e-6; 20e-6; 20e-6 |]
+    ~t2:[| 10e-6; 10e-6; 10e-6 |] ~duration_1q:25e-9 ~duration_2q:32e-9
+    ~family_error:(fun _ _ -> 0.005)
+    ()
+
+let test_calibration_set_get () =
+  let cal = make_cal () in
+  Device.Calibration.set_twoq_error cal (0, 1) Gates.Gate_type.s3 0.012;
+  check_float "lookup" 0.012 (Device.Calibration.twoq_error cal (0, 1) Gates.Gate_type.s3);
+  (* canonical edge ordering: (1, 0) finds the same entry *)
+  check_float "reversed edge" 0.012
+    (Device.Calibration.twoq_error cal (1, 0) Gates.Gate_type.s3);
+  check_float "fidelity" 0.988
+    (Device.Calibration.twoq_fidelity cal (0, 1) Gates.Gate_type.s3)
+
+let test_calibration_missing_raises () =
+  let cal = make_cal () in
+  Alcotest.check_raises "missing"
+    (Invalid_argument "Calibration.twoq_error: no data for CZ on (1,2)") (fun () ->
+      ignore (Device.Calibration.twoq_error cal (1, 2) Gates.Gate_type.s3))
+
+let test_calibration_family () =
+  let cal = make_cal () in
+  check_float "family" 0.005
+    (Device.Calibration.twoq_error cal (0, 1) Gates.Gate_type.Fsim_family);
+  let scaled = Device.Calibration.with_family_error_scale cal 2.0 in
+  check_float "scaled" 0.010
+    (Device.Calibration.twoq_error scaled (0, 1) Gates.Gate_type.Fsim_family);
+  (* fixed types unaffected by family scale *)
+  Device.Calibration.set_twoq_error cal (0, 1) Gates.Gate_type.s3 0.012;
+  Device.Calibration.set_twoq_error scaled (0, 1) Gates.Gate_type.s3 0.012;
+  check_float "fixed unchanged" 0.012
+    (Device.Calibration.twoq_error scaled (0, 1) Gates.Gate_type.s3)
+
+let test_calibration_error_scale () =
+  let cal = make_cal () in
+  Device.Calibration.set_twoq_error cal (0, 1) Gates.Gate_type.s3 0.012;
+  let scaled = Device.Calibration.with_error_scale cal 2.0 in
+  check_float "2q scaled" 0.024
+    (Device.Calibration.twoq_error scaled (0, 1) Gates.Gate_type.s3);
+  check_float "1q scaled" 0.002 (Device.Calibration.oneq_error scaled 0);
+  (* original untouched *)
+  check_float "original" 0.012 (Device.Calibration.twoq_error cal (0, 1) Gates.Gate_type.s3)
+
+let test_calibration_accessors () =
+  let cal = make_cal () in
+  check_float "t1" 20e-6 (Device.Calibration.t1 cal 0);
+  check_float "readout" 0.02 (Device.Calibration.readout_error cal 1);
+  check_float "d2q" 32e-9 (Device.Calibration.duration_2q cal)
+
+(* ---------- Aspen-8 ---------- *)
+
+let test_aspen_table_matches_device () =
+  let cal = Device.Aspen8.ring_device () in
+  List.iter
+    (fun (edge, cz_fid, xy_fid) ->
+      check_float "cz" cz_fid (Device.Calibration.twoq_fidelity cal edge Gates.Gate_type.s3);
+      check_float "xy" xy_fid
+        (Device.Calibration.twoq_fidelity cal edge Gates.Gate_type.xy_pi))
+    (Device.Aspen8.fidelity_table ())
+
+let test_aspen_best_varies () =
+  (* Fig 3's key property: the best gate type differs across edges *)
+  let table = Device.Aspen8.fidelity_table () in
+  let cz_best = List.exists (fun (_, cz, xy) -> cz > xy) table in
+  let xy_best = List.exists (fun (_, cz, xy) -> xy > cz) table in
+  check_bool "cz best somewhere" true cz_best;
+  check_bool "xy best somewhere" true xy_best
+
+let test_aspen_xy_band () =
+  let cal = Device.Aspen8.ring_device () in
+  let topo = Device.Calibration.topology cal in
+  List.iter
+    (fun e ->
+      let err = Device.Calibration.twoq_error cal e Gates.Gate_type.s5 in
+      check_bool "95-99% band" true (err >= 0.01 && err <= 0.05))
+    (Device.Topology.edges topo)
+
+let test_aspen_deterministic () =
+  let a = Device.Aspen8.ring_device ~seed:4 () in
+  let b = Device.Aspen8.ring_device ~seed:4 () in
+  check_float "same draw"
+    (Device.Calibration.twoq_error a (0, 1) Gates.Gate_type.s5)
+    (Device.Calibration.twoq_error b (0, 1) Gates.Gate_type.s5)
+
+(* ---------- Sycamore ---------- *)
+
+let test_sycamore_distribution () =
+  let cal = Device.Sycamore.device () in
+  let topo = Device.Calibration.topology cal in
+  check_int "54 qubits" 54 (Device.Topology.n_qubits topo);
+  let errs =
+    List.map (fun e -> Device.Calibration.twoq_error cal e Gates.Gate_type.s1)
+      (Device.Topology.edges topo)
+  in
+  let mean = List.fold_left ( +. ) 0.0 errs /. float_of_int (List.length errs) in
+  check_bool "mean near 0.62%" true (Float.abs (mean -. 0.0062) < 0.0015)
+
+let test_sycamore_vary_flag () =
+  let cal = Device.Sycamore.line_device ~vary:false 4 in
+  (* without variation all types share the edge error *)
+  let e1 = Device.Calibration.twoq_error cal (0, 1) Gates.Gate_type.s1 in
+  let e2 = Device.Calibration.twoq_error cal (0, 1) Gates.Gate_type.s3 in
+  let ef = Device.Calibration.twoq_error cal (0, 1) Gates.Gate_type.Fsim_family in
+  check_float "s1 = s3" e1 e2;
+  check_float "family too" e1 ef;
+  let varied = Device.Sycamore.line_device ~vary:true 4 in
+  let v1 = Device.Calibration.twoq_error varied (0, 1) Gates.Gate_type.s1 in
+  let v2 = Device.Calibration.twoq_error varied (0, 1) Gates.Gate_type.s3 in
+  check_bool "varies" true (Float.abs (v1 -. v2) > 1e-9)
+
+let test_sycamore_mu_override () =
+  let cal = Device.Sycamore.line_device ~mu:0.0002 ~sigma:1e-5 ~oneq:3e-5 6 in
+  let err = Device.Calibration.twoq_error cal (0, 1) Gates.Gate_type.s1 in
+  check_bool "low error" true (err < 0.001);
+  check_float "oneq" 3e-5 (Device.Calibration.oneq_error cal 0)
+
+let () =
+  Alcotest.run "device"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "ring" `Quick test_ring;
+          Alcotest.test_case "line" `Quick test_line;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "shortest path" `Quick test_shortest_path;
+          Alcotest.test_case "disconnected" `Quick test_path_disconnected;
+          Alcotest.test_case "find_line" `Quick test_find_line;
+          Alcotest.test_case "validation" `Quick test_of_edges_validation;
+          Alcotest.test_case "canonical" `Quick test_canonical;
+        ] );
+      ( "calibration",
+        [
+          Alcotest.test_case "set/get" `Quick test_calibration_set_get;
+          Alcotest.test_case "missing raises" `Quick test_calibration_missing_raises;
+          Alcotest.test_case "family errors" `Quick test_calibration_family;
+          Alcotest.test_case "error scaling" `Quick test_calibration_error_scale;
+          Alcotest.test_case "accessors" `Quick test_calibration_accessors;
+        ] );
+      ( "aspen8",
+        [
+          Alcotest.test_case "table matches device" `Quick test_aspen_table_matches_device;
+          Alcotest.test_case "best gate varies" `Quick test_aspen_best_varies;
+          Alcotest.test_case "xy fidelity band" `Quick test_aspen_xy_band;
+          Alcotest.test_case "deterministic" `Quick test_aspen_deterministic;
+        ] );
+      ( "sycamore",
+        [
+          Alcotest.test_case "error distribution" `Quick test_sycamore_distribution;
+          Alcotest.test_case "vary flag" `Quick test_sycamore_vary_flag;
+          Alcotest.test_case "mu override" `Quick test_sycamore_mu_override;
+        ] );
+    ]

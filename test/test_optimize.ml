@@ -1,0 +1,175 @@
+(* Tests for the numerical optimization substrate. *)
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+let quadratic x =
+  (* minimum 0 at (1, -2, 3) *)
+  let d0 = x.(0) -. 1.0 and d1 = x.(1) +. 2.0 and d2 = x.(2) -. 3.0 in
+  (d0 *. d0) +. (2.0 *. d1 *. d1) +. (0.5 *. d2 *. d2)
+
+let rosenbrock x =
+  let a = 1.0 -. x.(0) and b = x.(1) -. (x.(0) *. x.(0)) in
+  (a *. a) +. (100.0 *. b *. b)
+
+(* ---------- Grad ---------- *)
+
+let test_grad_central () =
+  let g = Optimize.Grad.central quadratic [| 0.0; 0.0; 0.0 |] in
+  check_bool "d0" true (Float.abs (g.(0) -. -2.0) < 1e-5);
+  check_bool "d1" true (Float.abs (g.(1) -. 8.0) < 1e-5);
+  check_bool "d2" true (Float.abs (g.(2) -. -3.0) < 1e-5)
+
+let test_grad_forward_close_to_central () =
+  let x = [| 0.3; -0.7; 1.1 |] in
+  let c = Optimize.Grad.central quadratic x in
+  let f = Optimize.Grad.forward quadratic x in
+  Array.iteri
+    (fun i ci -> check_bool "close" true (Float.abs (ci -. f.(i)) < 1e-4))
+    c
+
+let test_grad_norm_dot () =
+  check_float "norm" 5.0 (Optimize.Grad.norm [| 3.0; 4.0 |]);
+  check_float "dot" 11.0 (Optimize.Grad.dot [| 1.0; 2.0 |] [| 3.0; 4.0 |])
+
+(* ---------- Line search ---------- *)
+
+let test_line_search_descends () =
+  let x = [| 0.0; 0.0; 0.0 |] in
+  let g = Optimize.Grad.central quadratic x in
+  let d = Array.map (fun v -> -.v) g in
+  let slope = Optimize.Grad.dot g d in
+  let r = Optimize.Line_search.search quadratic x d ~f0:(quadratic x) ~slope in
+  check_bool "progress" true (r.Optimize.Line_search.f_new < quadratic x);
+  check_bool "positive step" true (r.Optimize.Line_search.step > 0.0)
+
+(* ---------- BFGS ---------- *)
+
+let test_bfgs_quadratic () =
+  let r = Optimize.Bfgs.minimize quadratic [| 5.0; 5.0; 5.0 |] in
+  check_bool "converged" true (r.Optimize.Bfgs.f < 1e-10);
+  check_bool "x0" true (Float.abs (r.Optimize.Bfgs.x.(0) -. 1.0) < 1e-4);
+  check_bool "x1" true (Float.abs (r.Optimize.Bfgs.x.(1) +. 2.0) < 1e-4);
+  check_bool "x2" true (Float.abs (r.Optimize.Bfgs.x.(2) -. 3.0) < 1e-4)
+
+let test_bfgs_rosenbrock () =
+  let options = { Optimize.Bfgs.default_options with max_iter = 600 } in
+  let r = Optimize.Bfgs.minimize ~options rosenbrock [| -1.2; 1.0 |] in
+  check_bool "low value" true (r.Optimize.Bfgs.f < 1e-6)
+
+let test_bfgs_target_stop () =
+  let options = { Optimize.Bfgs.default_options with f_tol = 0.5 } in
+  let r = Optimize.Bfgs.minimize ~options quadratic [| 5.0; 5.0; 5.0 |] in
+  check_bool "stopped at target" true (r.Optimize.Bfgs.f <= 0.5)
+
+let test_bfgs_at_optimum () =
+  let r = Optimize.Bfgs.minimize quadratic [| 1.0; -2.0; 3.0 |] in
+  check_bool "stays" true (r.Optimize.Bfgs.f < 1e-12);
+  check_bool "converged outcome" true
+    (match r.Optimize.Bfgs.outcome with
+    | Optimize.Bfgs.Converged | Optimize.Bfgs.Target_reached | Optimize.Bfgs.Stagnated ->
+      true
+    | Optimize.Bfgs.Max_iterations -> false)
+
+let test_bfgs_does_not_mutate_start () =
+  let x0 = [| 5.0; 5.0; 5.0 |] in
+  ignore (Optimize.Bfgs.minimize quadratic x0);
+  Alcotest.(check (array (float 0.0))) "x0 unchanged" [| 5.0; 5.0; 5.0 |] x0
+
+(* ---------- Nelder-Mead ---------- *)
+
+let test_nelder_mead_quadratic () =
+  let r = Optimize.Nelder_mead.minimize quadratic [| 4.0; 4.0; 4.0 |] in
+  check_bool "low value" true (r.Optimize.Nelder_mead.f < 1e-8)
+
+let test_nelder_mead_target () =
+  let options = { Optimize.Nelder_mead.default_options with target = 0.1 } in
+  let r = Optimize.Nelder_mead.minimize ~options quadratic [| 4.0; 4.0; 4.0 |] in
+  check_bool "target reached" true (r.Optimize.Nelder_mead.f <= 0.1)
+
+(* ---------- Multistart ---------- *)
+
+(* multiple local minima: f(x) = (x^2 - 1)^2 + 0.1 (x - 1)^2 has a global
+   minimum near x = 1 and a local one near x = -1 *)
+let double_well x =
+  let v = (x.(0) *. x.(0)) -. 1.0 in
+  (v *. v) +. (0.1 *. (x.(0) -. 1.0) *. (x.(0) -. 1.0))
+
+let test_multistart_escapes_local () =
+  let rng = Linalg.Rng.create 11 in
+  let run =
+    Optimize.Multistart.run ~rng ~starts:12 ~dim:1 ~lo:(-2.0) ~hi:2.0 ~target:1e-9
+      ~optimize:(fun x0 -> Optimize.Bfgs.minimize double_well x0)
+      ~value:(fun r -> r.Optimize.Bfgs.f)
+      ()
+  in
+  check_bool "found global" true (run.Optimize.Multistart.best_f < 1e-6)
+
+let test_multistart_early_stop () =
+  let rng = Linalg.Rng.create 11 in
+  let count = ref 0 in
+  let run =
+    Optimize.Multistart.run ~rng ~starts:20 ~dim:3 ~lo:(-5.0) ~hi:5.0 ~target:1e-8
+      ~optimize:(fun x0 ->
+        incr count;
+        Optimize.Bfgs.minimize quadratic x0)
+      ~value:(fun r -> r.Optimize.Bfgs.f)
+      ()
+  in
+  check_bool "early stop" true (!count < 20);
+  check_bool "solved" true (run.Optimize.Multistart.best_f < 1e-8)
+
+let test_multistart_first_start () =
+  let rng = Linalg.Rng.create 11 in
+  let seen = ref [] in
+  let _ =
+    Optimize.Multistart.run ~first_start:[| 9.0 |] ~rng ~starts:1 ~dim:1 ~lo:0.0
+      ~hi:1.0 ~target:(-1.0)
+      ~optimize:(fun x0 ->
+        seen := x0.(0) :: !seen;
+        Optimize.Bfgs.minimize (fun x -> x.(0) *. x.(0)) x0)
+      ~value:(fun r -> r.Optimize.Bfgs.f)
+      ()
+  in
+  check_float "uses first_start" 9.0 (List.hd (List.rev !seen))
+
+(* qcheck: BFGS never increases the objective *)
+let prop_bfgs_monotone =
+  QCheck.Test.make ~count:30 ~name:"bfgs result <= start value"
+    QCheck.(triple (float_range (-5.0) 5.0) (float_range (-5.0) 5.0) (float_range (-5.0) 5.0))
+    (fun (a, b, c) ->
+      let x0 = [| a; b; c |] in
+      let r = Optimize.Bfgs.minimize quadratic x0 in
+      r.Optimize.Bfgs.f <= quadratic x0 +. 1e-12)
+
+let () =
+  Alcotest.run "optimize"
+    [
+      ( "grad",
+        [
+          Alcotest.test_case "central" `Quick test_grad_central;
+          Alcotest.test_case "forward" `Quick test_grad_forward_close_to_central;
+          Alcotest.test_case "norm/dot" `Quick test_grad_norm_dot;
+        ] );
+      ("line_search", [ Alcotest.test_case "descends" `Quick test_line_search_descends ]);
+      ( "bfgs",
+        [
+          Alcotest.test_case "quadratic" `Quick test_bfgs_quadratic;
+          Alcotest.test_case "rosenbrock" `Quick test_bfgs_rosenbrock;
+          Alcotest.test_case "target stop" `Quick test_bfgs_target_stop;
+          Alcotest.test_case "at optimum" `Quick test_bfgs_at_optimum;
+          Alcotest.test_case "pure in x0" `Quick test_bfgs_does_not_mutate_start;
+        ] );
+      ( "nelder_mead",
+        [
+          Alcotest.test_case "quadratic" `Quick test_nelder_mead_quadratic;
+          Alcotest.test_case "target" `Quick test_nelder_mead_target;
+        ] );
+      ( "multistart",
+        [
+          Alcotest.test_case "escapes local minimum" `Quick test_multistart_escapes_local;
+          Alcotest.test_case "early stop" `Quick test_multistart_early_stop;
+          Alcotest.test_case "first start honored" `Quick test_multistart_first_start;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_bfgs_monotone ]);
+    ]
