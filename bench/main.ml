@@ -53,6 +53,25 @@ let micro_tests () =
   let syc = Gates.Twoq.syc in
   let qv_target = Linalg.Qr.haar_special_unitary rng 4 in
   let nuop_opts = { Decompose.Nuop.default_options with starts = 1 } in
+  (* long 1Q runs broken by entanglers — the shape the peephole sees
+     after NuOp lowering *)
+  let peephole_circuit =
+    let c = ref (Qcir.Circuit.empty 4) in
+    for k = 0 to 63 do
+      let q = k mod 4 in
+      if k mod 7 = 6 then c := Qcir.Circuit.add_gate !c Gates.Gate.cz [| q; (q + 1) mod 4 |]
+      else
+        c :=
+          Qcir.Circuit.add_gate !c
+            (Gates.Gate.u3
+               (Linalg.Rng.uniform rng 0.0 Float.pi)
+               (Linalg.Rng.uniform rng 0.0 Float.pi)
+               (Linalg.Rng.uniform rng 0.0 Float.pi))
+            [| q |]
+    done;
+    !c
+  in
+  let peephole_errors = Array.make (Qcir.Circuit.length peephole_circuit) 0.0 in
   [
     Test.make ~name:"mat4.mul (unboxed)" (Staged.stage (fun () -> Linalg.Mat.mul_into ~dst a b));
     Test.make ~name:"mat4.mul (boxed ref)" (Staged.stage (fun () -> ignore (boxed_mul a b)));
@@ -67,6 +86,9 @@ let micro_tests () =
                 ~target:qv_target)));
     Test.make ~name:"weyl.cnot_count"
       (Staged.stage (fun () -> ignore (Decompose.Weyl.cnot_count qv_target)));
+    Test.make ~name:"pass.merge_oneq 64 instrs"
+      (Staged.stage (fun () ->
+           ignore (Compiler.Pass.merge_oneq_rewrite peephole_circuit peephole_errors)));
   ]
 
 let run_micro () =

@@ -4,6 +4,7 @@
      decompose    decompose a two-qubit unitary into a hardware gate type
      devices      print the modelled devices and their calibration data
      study        run a benchmark suite against an instruction set
+     compile      compile one benchmark through the pass manager (--trace-passes)
      calibration  print the Sec IX calibration cost model
      experiment   run one of the paper's table/figure reproductions *)
 
@@ -157,6 +158,89 @@ let study_cmd =
     (Cmd.info "study" ~doc:"Compile and simulate a benchmark against an instruction set")
     Term.(const run $ isa_arg $ app_arg $ qubits $ count $ device $ seed)
 
+(* ---------- compile ---------- *)
+
+let compile_cmd =
+  let isa_arg =
+    Arg.(
+      value & opt string "G7"
+      & info [ "isa" ] ~docv:"ISA" ~doc:"Instruction set (Table II name, e.g. S1, G7, R5, Full_fSim).")
+  in
+  let app_arg =
+    Arg.(
+      value & opt string "qaoa"
+      & info [ "app" ] ~docv:"APP" ~doc:"Benchmark: qv, qaoa, qft, fh.")
+  in
+  let qubits = Arg.(value & opt int 4 & info [ "qubits"; "n" ] ~doc:"Circuit width.") in
+  let device =
+    Arg.(
+      value & opt string "sycamore"
+      & info [ "device" ] ~doc:"Device model: sycamore or aspen8.")
+  in
+  let seed = Arg.(value & opt int 2021 & info [ "seed" ] ~doc:"Random seed.") in
+  let optimize =
+    Arg.(
+      value & flag
+      & info [ "optimize"; "O" ]
+          ~doc:"Run the optimized stack (1Q-merge and trivial-gate elision peepholes).")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace-passes" ]
+          ~doc:
+            "Print a per-pass metrics table: wall time, 1Q/2Q/SWAP/depth deltas and \
+             decomposition-cache hits for every pass in the stack.")
+  in
+  let print_circuit =
+    Arg.(value & flag & info [ "print" ] ~doc:"Print the compiled circuit.")
+  in
+  let run isa_name app qubits device seed optimize trace print_circuit =
+    let isa =
+      match Compiler.Isa.find isa_name with
+      | Some isa -> isa
+      | None -> invalid_arg (Printf.sprintf "unknown ISA %s" isa_name)
+    in
+    let cal =
+      match device with
+      | "sycamore" -> Device.Sycamore.line_device (max 4 qubits)
+      | "aspen8" -> Device.Aspen8.ring_device ()
+      | d -> invalid_arg (Printf.sprintf "unknown device %s" d)
+    in
+    let rng = Linalg.Rng.create seed in
+    let circuit =
+      match app with
+      | "qv" -> List.hd (Apps.Qv.circuits rng ~count:1 qubits)
+      | "qaoa" -> List.hd (Apps.Qaoa.circuits rng ~count:1 qubits)
+      | "qft" -> Apps.Qft.circuit qubits
+      | "fh" -> Apps.Fermi_hubbard.circuit (max 4 qubits)
+      | a -> invalid_arg (Printf.sprintf "unknown app %s" a)
+    in
+    let stack =
+      if optimize then Compiler.Pass.optimized_stack else Compiler.Pass.default_stack
+    in
+    let compiled, metrics =
+      Compiler.Pipeline.compile_with_metrics ~stack ~cal ~isa circuit
+    in
+    Printf.printf "%s on %s via %s stack (%d passes):\n" app isa_name
+      (if optimize then "optimized" else "default")
+      (List.length stack);
+    Printf.printf
+      "  %d instructions, %d two-qubit gates, %d SWAPs, depth %d, %d qubits\n"
+      (Qcir.Circuit.length compiled.Compiler.Pipeline.circuit)
+      compiled.Compiler.Pipeline.twoq_count compiled.Compiler.Pipeline.swap_count
+      (Qcir.Circuit.depth compiled.Compiler.Pipeline.circuit)
+      (Array.length compiled.Compiler.Pipeline.qubit_map);
+    if trace then Core.Study.print_pass_metrics metrics;
+    if print_circuit then Qcir.Printer.print compiled.Compiler.Pipeline.circuit
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile a benchmark circuit through the pass manager")
+    Term.(
+      const run $ isa_arg $ app_arg $ qubits $ device $ seed $ optimize $ trace
+      $ print_circuit)
+
 (* ---------- calibration ---------- *)
 
 let calibration_cmd =
@@ -278,4 +362,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ decompose_cmd; devices_cmd; study_cmd; calibration_cmd; qasm_cmd; weyl_cmd; experiment_cmd ]))
+          [
+            decompose_cmd;
+            devices_cmd;
+            study_cmd;
+            compile_cmd;
+            calibration_cmd;
+            qasm_cmd;
+            weyl_cmd;
+            experiment_cmd;
+          ]))

@@ -11,13 +11,18 @@ let () =
   let circuit = Apps.Qaoa.circuit rng 4 in
   let cal = Device.Sycamore.line_device 5 in
   let isa = Compiler.Isa.g2 in
-  let compiled = Compiler.Pipeline.compile ~cal ~isa circuit in
+  let compiled, metrics =
+    Compiler.Pipeline.compile_with_metrics ~stack:Compiler.Pass.optimized_stack ~cal
+      ~isa circuit
+  in
   Printf.printf
     "Compiled a 4-qubit QAOA circuit for %s on the Sycamore model:\n\
     \  %d instructions, %d two-qubit gates, %d routing SWAPs\n\n"
     (Compiler.Isa.name isa)
     (Qcir.Circuit.length compiled.Compiler.Pipeline.circuit)
     compiled.Compiler.Pipeline.twoq_count compiled.Compiler.Pipeline.swap_count;
+  Printf.printf "pass trace:\n%s\n"
+    (Format.asprintf "%a" Compiler.Pass_manager.pp metrics);
   let qasm = Qcir.Qasm.to_string compiled.Compiler.Pipeline.circuit in
   (match Sys.argv with
   | [| _; path |] ->

@@ -51,9 +51,12 @@ let () =
   Printf.printf "Noiseless expected cut: %.3f\n\n" (expectation_cut graph ideal_probs);
 
   let cal = Device.Aspen8.ring_device () in
+  (* compile through the peephole-optimized pass stack: 1Q-merge fuses
+     the decomposer's back-to-back single-qubit layers *)
+  let stack = Compiler.Pass.optimized_stack in
   List.iter
     (fun isa ->
-      let compiled = Compiler.Pipeline.compile ~cal ~isa circuit in
+      let compiled = Compiler.Pipeline.compile ~stack ~cal ~isa circuit in
       let nm = Compiler.Pipeline.noise_model ~cal compiled in
       let noisy =
         Compiler.Pipeline.logical_probabilities compiled

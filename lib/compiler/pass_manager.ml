@@ -1,0 +1,82 @@
+(* Runs a pass stack over a shared context, recording per-pass metrics:
+   wall time, 1Q/2Q/SWAP/depth deltas, and decomposition-cache hits.
+   The metrics rows feed Core.Report tables and the CLI's
+   `compile --trace-passes`. *)
+
+type pass_metrics = {
+  pass_name : string;
+  time_s : float;
+  oneq_before : int;
+  oneq_after : int;
+  twoq_before : int;
+  twoq_after : int;
+  swaps_before : int;
+  swaps_after : int;
+  depth_before : int;
+  depth_after : int;
+  cache_hits : int;  (** fidelity-curve cache hits during the pass *)
+  cache_misses : int;
+}
+
+let snapshot (ctx : Pass.Context.t) =
+  let c = ctx.Pass.Context.circuit in
+  ( Qcir.Circuit.one_qubit_count c,
+    Qcir.Circuit.two_qubit_count c,
+    ctx.Pass.Context.swap_count,
+    Qcir.Circuit.depth c )
+
+let run_pass pass ctx =
+  let oneq_before, twoq_before, swaps_before, depth_before = snapshot ctx in
+  let hits0, misses0 = Decompose.Cache.stats () in
+  let t0 = Sys.time () in
+  Pass.run pass ctx;
+  let time_s = Sys.time () -. t0 in
+  let hits1, misses1 = Decompose.Cache.stats () in
+  let oneq_after, twoq_after, swaps_after, depth_after = snapshot ctx in
+  {
+    pass_name = Pass.name pass;
+    time_s;
+    oneq_before;
+    oneq_after;
+    twoq_before;
+    twoq_after;
+    swaps_before;
+    swaps_after;
+    depth_before;
+    depth_after;
+    cache_hits = hits1 - hits0;
+    cache_misses = misses1 - misses0;
+  }
+
+let run stack ctx = List.map (fun pass -> run_pass pass ctx) stack
+
+let total_time metrics = List.fold_left (fun acc m -> acc +. m.time_s) 0.0 metrics
+
+(* ---------- rendering (header + rows for Core.Report.table) ---------- *)
+
+let header = [ "pass"; "time"; "1Q"; "2Q"; "SWAPs"; "depth"; "cache h/m" ]
+
+let delta_cell after before =
+  if after = before then string_of_int after
+  else Printf.sprintf "%d (%+d)" after (after - before)
+
+let row m =
+  [
+    m.pass_name;
+    Printf.sprintf "%.1f ms" (1000.0 *. m.time_s);
+    delta_cell m.oneq_after m.oneq_before;
+    delta_cell m.twoq_after m.twoq_before;
+    delta_cell m.swaps_after m.swaps_before;
+    delta_cell m.depth_after m.depth_before;
+    Printf.sprintf "%d/%d" m.cache_hits m.cache_misses;
+  ]
+
+let rows metrics = List.map row metrics
+
+let pp ppf metrics =
+  List.iter
+    (fun m ->
+      Fmt.pf ppf "%-10s %8.1f ms  1Q %4d  2Q %4d  depth %4d  cache %d/%d@."
+        m.pass_name (1000.0 *. m.time_s) m.oneq_after m.twoq_after m.depth_after
+        m.cache_hits m.cache_misses)
+    metrics

@@ -1,0 +1,32 @@
+(** Executes a pass stack over a shared context, recording per-pass
+    metrics (wall time, gate/SWAP/depth deltas, decomposition-cache
+    hits). *)
+
+type pass_metrics = {
+  pass_name : string;
+  time_s : float;
+  oneq_before : int;
+  oneq_after : int;
+  twoq_before : int;
+  twoq_after : int;
+  swaps_before : int;
+  swaps_after : int;
+  depth_before : int;
+  depth_after : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+val run : Pass.t list -> Pass.Context.t -> pass_metrics list
+(** Run the stack in order, mutating the context; one metrics record per
+    pass. *)
+
+val total_time : pass_metrics list -> float
+
+(** Rendering helpers: a header and rows for [Core.Report.table] (also
+    used by the CLI's [compile --trace-passes]). *)
+
+val header : string list
+val rows : pass_metrics list -> string list list
+
+val pp : Format.formatter -> pass_metrics list -> unit

@@ -1,29 +1,20 @@
 (* End-to-end compilation: place -> route -> NuOp-decompose with noise
-   adaptivity across gate types (Fig 1's toolflow).
+   adaptivity across gate types (Fig 1's toolflow), expressed as the
+   default pass stack over Pass / Pass_manager.
 
-   For every routed two-qubit application unitary, each gate type in the
-   instruction set is tried (sharing cached fidelity curves); the type
-   and layer count maximizing F_u = F_d * F_h win (Eq 2).  F_h folds in
-   the per-edge error of the chosen type and the single-qubit layer
-   errors.  The output circuit is renumbered onto the qubits it actually
-   touches so the exact density simulator works on the smallest space,
-   while the noise model keeps per-instruction error rates measured on
-   the original device edges. *)
+   The output circuit is renumbered onto the qubits it actually touches
+   so the exact density simulator works on the smallest space, while the
+   noise model keeps per-instruction error rates measured on the original
+   device edges. *)
 
-type options = {
+type options = Pass.options = {
   nuop : Decompose.Nuop.options;
   approximate : bool;  (** Eq 2 approximate mode vs exact thresholded mode *)
   exact_threshold : float;
   adaptive : bool;  (** noise adaptivity across gate types *)
 }
 
-let default_options =
-  {
-    nuop = Decompose.Nuop.default_options;
-    approximate = true;
-    exact_threshold = 1.0 -. 1e-6;
-    adaptive = true;
-  }
+let default_options = Pass.default_options
 
 type compiled = {
   circuit : Qcir.Circuit.t;  (** compact qubits, hardware gates only *)
@@ -36,60 +27,36 @@ type compiled = {
   isa : Isa.t;
 }
 
-(* Decompose one application unitary on a device edge, returning the
-   chosen decomposition. *)
-let decompose_on_edge ~options ~cal ~isa ~edge ~target =
-  let a, b = edge in
-  let f1 =
-    Device.Calibration.oneq_fidelity cal a *. Device.Calibration.oneq_fidelity cal b
-  in
-  let candidate ty =
-    let err = Device.Calibration.twoq_error cal edge ty in
-    let fh layers =
-      ((1.0 -. err) ** float_of_int layers) *. (f1 ** float_of_int (layers + 1))
-    in
-    let d =
-      if options.approximate then
-        Decompose.Cache.decompose_approx ~options:options.nuop ~fh ty ~target
-      else begin
-        let d =
-          Decompose.Cache.decompose_exact ~options:options.nuop
-            ~threshold:options.exact_threshold ty ~target
-        in
-        { d with fh = fh d.Decompose.Nuop.layers }
-      end
-    in
-    d
-  in
-  let candidates = List.map candidate (Isa.gate_types isa) in
-  if options.adaptive then Decompose.Nuop.select_best candidates
-  else begin
-    (* fidelity-blind selection: best decomposition quality, then fewest
-       gates (ablation mode) *)
-    match candidates with
-    | [] -> invalid_arg "Pipeline.decompose_on_edge: empty instruction set"
-    | first :: rest ->
-      List.fold_left
-        (fun best c ->
-          let open Decompose.Nuop in
-          if
-            c.fd > best.fd +. 1e-12
-            || (Float.abs (c.fd -. best.fd) <= 1e-12 && c.layers < best.layers)
-          then c
-          else best)
-        first rest
-  end
+let decompose_on_edge = Pass.decompose_on_edge
 
-(* Per-instruction error rates for the instructions NuOp emitted. *)
-let errors_of_decomposition ~cal ~edge (d : Decompose.Nuop.t) instrs =
-  List.map
-    (fun instr ->
-      if Qcir.Instr.is_two_qubit instr then
-        Device.Calibration.twoq_error cal edge d.gate_type
-      else 0.0)
-    instrs
+let compiled_of_context (ctx : Pass.Context.t) =
+  let open Pass.Context in
+  if not ctx.compacted then
+    invalid_arg "Pipeline: the pass stack must end with the compact pass";
+  {
+    circuit = ctx.circuit;
+    twoq_errors = ctx.errors;
+    qubit_map = ctx.qubit_map;
+    final_layout = ctx.final_layout;
+    n_logical = ctx.n_logical;
+    swap_count = ctx.swap_count;
+    twoq_count = Qcir.Circuit.two_qubit_count ctx.circuit;
+    isa = ctx.isa;
+  }
 
-let compile ?(options = default_options) ~cal ~isa ?placement circuit =
+let compile_with_metrics ?(options = default_options) ?(stack = Pass.default_stack)
+    ~cal ~isa ?placement circuit =
+  let ctx = Pass.Context.create ~options ~cal ~isa ?placement circuit in
+  let metrics = Pass_manager.run stack ctx in
+  (compiled_of_context ctx, metrics)
+
+let compile ?options ?stack ~cal ~isa ?placement circuit =
+  fst (compile_with_metrics ?options ?stack ~cal ~isa ?placement circuit)
+
+(* The pre-pass-manager monolith, retained verbatim as a differential
+   reference: the default stack must reproduce it bit-for-bit (a test
+   compares both on the fig9/fig10 quick-scale configurations). *)
+let compile_reference ?(options = default_options) ~cal ~isa ?placement circuit =
   let topology = Device.Calibration.topology cal in
   let n_logical = Qcir.Circuit.n_qubits circuit in
   let placement =
@@ -102,7 +69,9 @@ let compile ?(options = default_options) ~cal ~isa ?placement circuit =
         invalid_arg
           (Printf.sprintf "Pipeline.compile: no %d-qubit line in the device" n_logical))
   in
-  let routed = Router.route ~topology ~placement circuit in
+  let routed =
+    Router.route ~edge_cost:(Pass.edge_cost ~cal ~isa) ~topology ~placement circuit
+  in
   (* decompose every routed instruction, tracking per-instruction errors *)
   let rev_instrs = ref [] and rev_errors = ref [] in
   let twoq_count = ref 0 in
@@ -119,12 +88,12 @@ let compile ?(options = default_options) ~cal ~isa ?placement circuit =
       | 2 ->
         let edge = (qs.(0), qs.(1)) in
         let target = Gates.Gate.matrix (Qcir.Instr.gate instr) in
-        let d = decompose_on_edge ~options ~cal ~isa ~edge ~target in
+        let d = Pass.decompose_on_edge ~options ~cal ~isa ~edge ~target in
         let instrs = Decompose.Nuop.to_instrs d ~qubits:(qs.(0), qs.(1)) in
-        let errs = errors_of_decomposition ~cal ~edge d instrs in
+        let errs = Pass.errors_of_decomposition ~cal ~edge d instrs in
         List.iter2 emit instrs errs
       | _ -> invalid_arg "Pipeline.compile: gates beyond two qubits unsupported")
-    routed.circuit;
+    routed.Router.circuit;
   let instrs = List.rev !rev_instrs and errors = List.rev !rev_errors in
   (* compact onto used qubits *)
   let used = Hashtbl.create 16 in
@@ -140,7 +109,7 @@ let compile ?(options = default_options) ~cal ~isa ?placement circuit =
     Qcir.Circuit.of_instrs (Array.length qubit_map) compact_instrs
   in
   let final_layout =
-    Array.map (Hashtbl.find device_to_compact) routed.final_layout
+    Array.map (Hashtbl.find device_to_compact) routed.Router.final_layout
   in
   {
     circuit = compact_circuit;
@@ -148,7 +117,7 @@ let compile ?(options = default_options) ~cal ~isa ?placement circuit =
     qubit_map;
     final_layout;
     n_logical;
-    swap_count = routed.swap_count;
+    swap_count = routed.Router.swap_count;
     twoq_count = !twoq_count;
     isa;
   }

@@ -1,7 +1,8 @@
 (** End-to-end compilation: place, route, NuOp-decompose with noise
-    adaptivity across gate types. *)
+    adaptivity across gate types — a thin wrapper around the default
+    {!Pass} stack run by {!Pass_manager}. *)
 
-type options = {
+type options = Pass.options = {
   nuop : Decompose.Nuop.options;
   approximate : bool;
   exact_threshold : float;
@@ -29,15 +30,43 @@ val decompose_on_edge :
   target:Linalg.Mat.t ->
   Decompose.Nuop.t
 (** Best decomposition of one application unitary on a device edge across
-    the instruction set's gate types. *)
+    the instruction set's gate types (see {!Pass.decompose_on_edge}). *)
 
 val compile :
+  ?options:options ->
+  ?stack:Pass.t list ->
+  cal:Device.Calibration.t ->
+  isa:Isa.t ->
+  ?placement:int array ->
+  Qcir.Circuit.t ->
+  compiled
+(** Run a pass stack (default {!Pass.default_stack}; it must end with
+    the compact pass) and extract the compiled result. *)
+
+val compile_with_metrics :
+  ?options:options ->
+  ?stack:Pass.t list ->
+  cal:Device.Calibration.t ->
+  isa:Isa.t ->
+  ?placement:int array ->
+  Qcir.Circuit.t ->
+  compiled * Pass_manager.pass_metrics list
+(** Like {!compile}, also returning the per-pass metrics. *)
+
+val compile_reference :
   ?options:options ->
   cal:Device.Calibration.t ->
   isa:Isa.t ->
   ?placement:int array ->
   Qcir.Circuit.t ->
   compiled
+(** The pre-pass-manager monolithic implementation, retained as a
+    differential reference: {!compile} with the default stack must
+    reproduce it bit-for-bit (the test-suite compares both). *)
+
+val compiled_of_context : Pass.Context.t -> compiled
+(** Extract the result from a context after a stack ending in the
+    compact pass. *)
 
 val noise_model : cal:Device.Calibration.t -> compiled -> Sim.Noisy.noise_model
 

@@ -19,11 +19,15 @@ let make_qft_circuits cfg n =
       done;
       Qcir.Circuit.append !c (Apps.Qft.circuit n))
 
+let stack = Compiler.Pass.default_stack
+
 let run_suite cfg cal ~label ~metric circuits ~sets =
   Report.subheading label;
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
   let results =
-    List.map (fun isa -> Study.evaluate_suite ~options ~cal ~isa ~metric circuits) sets
+    List.map
+      (fun isa -> Study.evaluate_suite ~options ~stack ~cal ~isa ~metric circuits)
+      sets
   in
   Study.print_results ~metric results;
   results

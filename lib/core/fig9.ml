@@ -7,11 +7,15 @@ open Linalg
 let isas =
   Compiler.Isa.(rigetti_singles @ rigetti_multis @ [ full_xy ])
 
+let stack = Compiler.Pass.default_stack
+
 let run_benchmark cfg cal ~label ~metric circuits =
   Report.subheading label;
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
   let results =
-    List.map (fun isa -> Study.evaluate_suite ~options ~cal ~isa ~metric circuits) isas
+    List.map
+      (fun isa -> Study.evaluate_suite ~options ~stack ~cal ~isa ~metric circuits)
+      isas
   in
   Study.print_results ~metric results;
   results

@@ -1,6 +1,6 @@
 (* Shared machinery for the instruction-set reliability studies
    (Figs 7, 9, 10): compile a benchmark suite for an instruction set on a
-   device and measure the paper's metric. *)
+   device through a pass stack and measure the paper's metric. *)
 
 type metric =
   | Hop  (** heavy-output probability (QV) *)
@@ -22,15 +22,15 @@ type result = {
 }
 
 (* Evaluate one circuit; returns (metric value, 2q count, swaps). *)
-let evaluate_circuit ?(options = Compiler.Pipeline.default_options) ~cal ~isa ~metric
-    circuit =
+let evaluate_circuit ?(options = Compiler.Pipeline.default_options)
+    ?(stack = Compiler.Pass.default_stack) ~cal ~isa ~metric circuit =
   let n = Qcir.Circuit.n_qubits circuit in
   let placement =
     match Compiler.Mapping.best_line cal isa n with
     | Some p -> p
     | None -> invalid_arg "Study.evaluate_circuit: no placement"
   in
-  let compiled = Compiler.Pipeline.compile ~options ~cal ~isa ~placement circuit in
+  let compiled = Compiler.Pipeline.compile ~options ~stack ~cal ~isa ~placement circuit in
   let nm = Compiler.Pipeline.noise_model ~cal compiled in
   let value =
     match metric with
@@ -52,7 +52,8 @@ let evaluate_circuit ?(options = Compiler.Pipeline.default_options) ~cal ~isa ~m
         { options with approximate = false; exact_threshold = 1.0 -. 1e-8 }
       in
       let reference =
-        Compiler.Pipeline.compile ~options:exact_options ~cal ~isa ~placement circuit
+        Compiler.Pipeline.compile ~options:exact_options ~stack ~cal ~isa ~placement
+          circuit
       in
       let ideal_state = Sim.State.run_circuit reference.circuit in
       let rho = Sim.Noisy.run nm compiled.circuit in
@@ -60,13 +61,13 @@ let evaluate_circuit ?(options = Compiler.Pipeline.default_options) ~cal ~isa ~m
   in
   (value, compiled.twoq_count, compiled.swap_count)
 
-let evaluate_suite ?options ~cal ~isa ~metric circuits =
+let evaluate_suite ?options ?stack ~cal ~isa ~metric circuits =
   assert (circuits <> []);
   let n = float_of_int (List.length circuits) in
   let sum_m, sum_g, sum_s =
     List.fold_left
       (fun (sm, sg, ss) circuit ->
-        let m, g, s = evaluate_circuit ?options ~cal ~isa ~metric circuit in
+        let m, g, s = evaluate_circuit ?options ?stack ~cal ~isa ~metric circuit in
         (sm +. m, sg + g, ss + s))
       (0.0, 0, 0) circuits
   in
@@ -84,3 +85,7 @@ let print_results ~metric results =
   Report.table
     ~header:[ "ISA"; metric_name metric; "2Q gates"; "SWAPs" ]
     (List.map result_row results)
+
+let print_pass_metrics metrics =
+  Report.table ~header:Compiler.Pass_manager.header
+    (Compiler.Pass_manager.rows metrics)

@@ -13,15 +13,18 @@ type result = {
 
 val evaluate_circuit :
   ?options:Compiler.Pipeline.options ->
+  ?stack:Compiler.Pass.t list ->
   cal:Device.Calibration.t ->
   isa:Compiler.Isa.t ->
   metric:metric ->
   Qcir.Circuit.t ->
   float * int * int
-(** (metric value, two-qubit gate count, swap count) for one circuit. *)
+(** (metric value, two-qubit gate count, swap count) for one circuit,
+    compiled through [stack] (default {!Compiler.Pass.default_stack}). *)
 
 val evaluate_suite :
   ?options:Compiler.Pipeline.options ->
+  ?stack:Compiler.Pass.t list ->
   cal:Device.Calibration.t ->
   isa:Compiler.Isa.t ->
   metric:metric ->
@@ -30,3 +33,6 @@ val evaluate_suite :
 
 val result_row : result -> string list
 val print_results : metric:metric -> result list -> unit
+
+val print_pass_metrics : Compiler.Pass_manager.pass_metrics list -> unit
+(** Per-pass metrics as a {!Report.table}. *)

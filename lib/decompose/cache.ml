@@ -13,6 +13,11 @@ let max_entries = 100_000
 
 let table : (string, (int * float array * float) array) Hashtbl.t = Hashtbl.create 4096
 
+(* Lifetime hit/miss counters (reset by [clear]); the pass manager
+   snapshots them around each pass to attribute hits per stage. *)
+let hits = ref 0
+let misses = ref 0
+
 let make_key ~target ~gate_type ~options =
   Printf.sprintf "%s|%s|%d-%d"
     (Digest.to_hex (Mat.digest target))
@@ -22,8 +27,11 @@ let make_key ~target ~gate_type ~options =
 let fd_curve ?(options = Nuop.default_options) gate_type ~target =
   let key = make_key ~target ~gate_type ~options in
   match Hashtbl.find_opt table key with
-  | Some curve -> curve
+  | Some curve ->
+    incr hits;
+    curve
   | None ->
+    incr misses;
     let curve = Nuop.fd_curve ~options gate_type ~target in
     if Hashtbl.length table >= max_entries then Hashtbl.reset table;
     Hashtbl.replace table key curve;
@@ -35,5 +43,10 @@ let decompose_exact ?(options = Nuop.default_options) ?threshold gate_type ~targ
 let decompose_approx ?(options = Nuop.default_options) ~fh gate_type ~target =
   Nuop.approx_of_curve ~fh gate_type (fd_curve ~options gate_type ~target)
 
-let clear () = Hashtbl.reset table
+let clear () =
+  Hashtbl.reset table;
+  hits := 0;
+  misses := 0
+
 let size () = Hashtbl.length table
+let stats () = (!hits, !misses)

@@ -18,4 +18,10 @@ val decompose_approx :
   ?options:Nuop.options -> fh:(int -> float) -> Gates.Gate_type.t -> target:Mat.t -> Nuop.t
 
 val clear : unit -> unit
+(** Drop every entry and reset the hit/miss counters. *)
+
 val size : unit -> int
+
+val stats : unit -> int * int
+(** [(hits, misses)] of the fidelity-curve lookups since the last
+    [clear]. *)

@@ -49,6 +49,30 @@ let rz theta =
 
 let phase phi = Mat.of_rows [ [ r 1.0; r 0.0 ]; [ r 0.0; Cplx.cis phi ] ]
 
+(* Any U in U(2) is e^{i phi} U3(alpha, beta, lambda).  Reading the
+   convention above off the entries:
+     |u00| = cos(alpha/2), |u10| = sin(alpha/2),
+     phi = arg(u00), beta = arg(u10) - phi, lambda = arg(-u01) - phi,
+   with the degenerate branches alpha ~ 0 (diagonal: fold everything into
+   lambda) and alpha ~ pi (anti-diagonal: fold the phase into u10). *)
+let zyz u =
+  assert (Mat.rows u = 2 && Mat.cols u = 2);
+  let u00 = Mat.get u 0 0
+  and u01 = Mat.get u 0 1
+  and u10 = Mat.get u 1 0
+  and u11 = Mat.get u 1 1 in
+  let n00 = Complex.norm u00 and n10 = Complex.norm u10 in
+  let alpha = 2.0 *. Float.atan2 n10 n00 in
+  if n10 < 1e-12 then
+    let phi = Complex.arg u00 in
+    (alpha, 0.0, Complex.arg u11 -. phi)
+  else if n00 < 1e-12 then
+    let phi = Complex.arg u10 in
+    (alpha, 0.0, Complex.arg (Complex.neg u01) -. phi)
+  else
+    let phi = Complex.arg u00 in
+    (alpha, Complex.arg u10 -. phi, Complex.arg (Complex.neg u01) -. phi)
+
 let pauli_of_index = function
   | 0 -> identity
   | 1 -> x

@@ -21,5 +21,10 @@ val rz : float -> Mat.t
 val phase : float -> Mat.t
 (** [phase phi] = diag(1, e^{i phi}). *)
 
+val zyz : Mat.t -> float * float * float
+(** [zyz u] returns [(alpha, beta, lambda)] with
+    [u = e^{i phi} u3 alpha beta lambda] for some global phase [phi].
+    [u] must be a 2x2 unitary. *)
+
 val pauli_of_index : int -> Mat.t
 (** 0 -> I, 1 -> X, 2 -> Y, 3 -> Z. *)

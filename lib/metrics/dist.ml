@@ -38,3 +38,28 @@ let overlap p q =
   let acc = ref 0.0 in
   Array.iteri (fun x px -> acc := !acc +. (px *. q.(x))) p;
   !acc
+
+(* Phase-invariant distance between unitary processes:
+   sqrt(1 - (|Tr(A^dag B)| / d)^2).  Zero iff A = e^{i phi} B; used by the
+   peephole-pass tests to bound rewrite error.
+
+   Numerics: computing 1 - t^2 directly floors the distance at
+   sqrt(2 eps_machine) ~ 1e-8 even for A = B.  Instead align B's global
+   phase to A and use ||A - e^{i arg Tr} B||_F^2 = 2d (1 - t): the
+   cancellation happens entrywise in the subtraction, where it is
+   harmless, so near-identical unitaries measure ~1e-16. *)
+let process_distance a b =
+  let d = float_of_int (Linalg.Mat.rows a) in
+  let tr = Linalg.Mat.hs_inner a b in
+  let nt = Complex.norm tr in
+  if nt = 0.0 then 1.0
+  else begin
+    (* Tr(A^dag B) = |Tr| e^{-i psi} when A ~ e^{i psi} B, so align B
+       with the conjugate phase *)
+    let phase = Complex.conj (Complex.div tr { Complex.re = nt; im = 0.0 }) in
+    let diff = Linalg.Mat.sub a (Linalg.Mat.scale phase b) in
+    let fro = Linalg.Mat.frobenius_norm diff in
+    let one_minus_t = fro *. fro /. (2.0 *. d) in
+    let t = nt /. d in
+    Float.sqrt (Float.max 0.0 (one_minus_t *. (1.0 +. t)))
+  end

@@ -10,3 +10,8 @@ val entropy : float array -> float
 val total_variation : float array -> float array -> float
 val overlap : float array -> float array -> float
 (** sum_x p(x) q(x). *)
+
+val process_distance : Linalg.Mat.t -> Linalg.Mat.t -> float
+(** Phase-invariant distance between unitaries,
+    [sqrt(1 - (|Tr(A^dag B)| / d)^2)] — zero iff they are equal up to a
+    global phase. *)

@@ -130,6 +130,35 @@ let test_router_distant_pair () =
   let routed = Compiler.Router.route ~topology ~placement:[| 0; 4 |] c in
   check_int "3 swaps" 3 routed.Compiler.Router.swap_count
 
+(* Regression for the direction-aware SWAP chains: walking the wrong
+   endpoint strands the next gate's operands far apart.  Logical 0@phys0,
+   1@phys4, 2@phys1 on a 5-line; cz(0,1) then cz(1,2).  Walking qubit 1
+   down (4->1) leaves it adjacent to qubit 2 (3 swaps total); the legacy
+   first-operand walk drags qubit 0 up and needs 3 more (6 total). *)
+let test_router_direction_lookahead () =
+  let topology = Device.Topology.line 5 in
+  let c =
+    Qcir.Circuit.add_gate
+      (Qcir.Circuit.add_gate (Qcir.Circuit.empty 3) Gates.Gate.cz [| 0; 1 |])
+      Gates.Gate.cz [| 1; 2 |]
+  in
+  let placement = [| 0; 4; 1 |] in
+  let smart = Compiler.Router.route ~topology ~placement c in
+  let legacy = Compiler.Router.route ~directional:false ~topology ~placement c in
+  check_int "directional swaps" 3 smart.Compiler.Router.swap_count;
+  check_int "legacy swaps" 6 legacy.Compiler.Router.swap_count;
+  (* both stay semantically valid *)
+  List.iter
+    (fun (routed : Compiler.Router.routed) ->
+      Qcir.Circuit.iter
+        (fun i ->
+          if Qcir.Instr.is_two_qubit i then
+            let qs = Qcir.Instr.qubits i in
+            check_bool "adjacent" true
+              (Device.Topology.are_adjacent topology qs.(0) qs.(1)))
+        routed.Compiler.Router.circuit)
+    [ smart; legacy ]
+
 (* ---------- Pipeline ---------- *)
 
 let small_circuit () =
@@ -237,6 +266,146 @@ let test_pipeline_full_family () =
   let probs = Sim.Noisy.output_probabilities Sim.Noisy.ideal compiled.Compiler.Pipeline.circuit in
   Alcotest.(check (float 1e-6)) "normalized" 1.0 (Array.fold_left ( +. ) 0.0 probs)
 
+(* ---------- Pass stacks ---------- *)
+
+(* the circuit's full unitary, column by column *)
+let circuit_unitary c =
+  let n = Qcir.Circuit.n_qubits c in
+  let dim = 1 lsl n in
+  let cols =
+    Array.init dim (fun j ->
+        let s = Sim.State.of_basis n j in
+        Sim.State.run_circuit_on s c;
+        s)
+  in
+  Mat.init dim dim (fun i j -> Sim.State.amplitude cols.(j) i)
+
+let check_same_compiled label (a : Compiler.Pipeline.compiled)
+    (b : Compiler.Pipeline.compiled) =
+  let open Compiler.Pipeline in
+  check_int (label ^ ": length") (Qcir.Circuit.length b.circuit)
+    (Qcir.Circuit.length a.circuit);
+  List.iter2
+    (fun ia ib ->
+      let ga = Qcir.Instr.gate ia and gb = Qcir.Instr.gate ib in
+      Alcotest.(check string) (label ^ ": gate name") (Gates.Gate.name gb)
+        (Gates.Gate.name ga);
+      check_bool (label ^ ": qubits") true (Qcir.Instr.qubits ia = Qcir.Instr.qubits ib);
+      check_bool (label ^ ": params") true (Gates.Gate.params ga = Gates.Gate.params gb))
+    (Qcir.Circuit.instrs a.circuit)
+    (Qcir.Circuit.instrs b.circuit);
+  check_bool (label ^ ": errors bit-for-bit") true (a.twoq_errors = b.twoq_errors);
+  check_bool (label ^ ": qubit_map") true (a.qubit_map = b.qubit_map);
+  check_bool (label ^ ": final_layout") true (a.final_layout = b.final_layout);
+  check_int (label ^ ": swaps") b.swap_count a.swap_count;
+  check_int (label ^ ": 2q count") b.twoq_count a.twoq_count
+
+(* the default stack must reproduce the retained monolith bit-for-bit
+   on the fig9/fig10-style configurations *)
+let test_pass_default_stack_matches_reference () =
+  List.iter
+    (fun (label, cal, isa, circuit) ->
+      let a = Compiler.Pipeline.compile ~options:fast_options ~cal ~isa circuit in
+      let b =
+        Compiler.Pipeline.compile_reference ~options:fast_options ~cal ~isa circuit
+      in
+      check_same_compiled label a b)
+    [
+      ( "fig10 QV",
+        Device.Sycamore.line_device 4,
+        Compiler.Isa.g2,
+        Apps.Qv.circuit (Rng.create 7) 3 );
+      ( "fig9 QAOA",
+        Device.Aspen8.ring_device (),
+        Compiler.Isa.r2,
+        Apps.Qaoa.circuit (Rng.create 8) 4 );
+    ]
+
+let test_pass_metrics_recorded () =
+  let cal = Device.Sycamore.line_device 4 in
+  Decompose.Cache.clear ();
+  let compiled, metrics =
+    Compiler.Pipeline.compile_with_metrics ~options:fast_options ~cal
+      ~isa:Compiler.Isa.g2
+      (Apps.Qaoa.circuit (Rng.create 3) 4)
+  in
+  check_int "one record per pass"
+    (List.length Compiler.Pass.default_stack)
+    (List.length metrics);
+  let lower =
+    List.find (fun m -> m.Compiler.Pass_manager.pass_name = "lower") metrics
+  in
+  (* QAOA repeats the same ZZ interaction on every edge: the
+     decomposition cache must get hits within one compile *)
+  check_bool "cache hits > 0" true (lower.Compiler.Pass_manager.cache_hits > 0);
+  let hits, misses = Decompose.Cache.stats () in
+  check_bool "global hit rate > 0" true (hits > 0 && misses > 0);
+  let final = List.nth metrics (List.length metrics - 1) in
+  check_int "final 2Q matches compiled" compiled.Compiler.Pipeline.twoq_count
+    final.Compiler.Pass_manager.twoq_after
+
+let test_pass_merge_oneq_preserves_unitary () =
+  let cal = Device.Sycamore.line_device 4 in
+  let circuit = small_circuit () in
+  let plain =
+    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Compiler.Isa.g2 circuit
+  in
+  let merged =
+    Compiler.Pipeline.compile ~options:fast_options
+      ~stack:Compiler.Pass.optimized_stack ~cal ~isa:Compiler.Isa.g2 circuit
+  in
+  let n1 = Qcir.Circuit.one_qubit_count plain.Compiler.Pipeline.circuit in
+  let n2 = Qcir.Circuit.one_qubit_count merged.Compiler.Pipeline.circuit in
+  check_bool "1Q count reduced or equal" true (n2 <= n1);
+  check_int "2Q count unchanged" plain.Compiler.Pipeline.twoq_count
+    merged.Compiler.Pipeline.twoq_count;
+  let d =
+    Metrics.Dist.process_distance
+      (circuit_unitary plain.Compiler.Pipeline.circuit)
+      (circuit_unitary merged.Compiler.Pipeline.circuit)
+  in
+  check_bool "unitary preserved (process distance < 1e-9)" true (d < 1e-9)
+
+let test_pass_merge_rewrite_small () =
+  (* a run of 1Q gates on each qubit around a CZ collapses to one u3 each *)
+  let c = Qcir.Circuit.empty 2 in
+  let c = Qcir.Circuit.add_gate c Gates.Gate.h [| 0 |] in
+  let c = Qcir.Circuit.add_gate c (Gates.Gate.rz 0.3) [| 0 |] in
+  let c = Qcir.Circuit.add_gate c (Gates.Gate.rx 0.7) [| 0 |] in
+  let c = Qcir.Circuit.add_gate c Gates.Gate.x [| 1 |] in
+  let c = Qcir.Circuit.add_gate c Gates.Gate.cz [| 0; 1 |] in
+  let c = Qcir.Circuit.add_gate c (Gates.Gate.rz 0.1) [| 1 |] in
+  let merged, errors = Compiler.Pass.merge_oneq_rewrite c (Array.make 6 0.0) in
+  check_int "instruction count" 4 (Qcir.Circuit.length merged);
+  check_int "errors aligned" 4 (Array.length errors);
+  let d = Metrics.Dist.process_distance (circuit_unitary c) (circuit_unitary merged) in
+  check_bool "unitary preserved" true (d < 1e-9)
+
+let test_pass_elide_trivial () =
+  let c = Qcir.Circuit.empty 2 in
+  let c = Qcir.Circuit.add_gate c (Gates.Gate.rz 0.0) [| 0 |] in
+  let c = Qcir.Circuit.add_gate c Gates.Gate.h [| 0 |] in
+  let c = Qcir.Circuit.add_gate c (Gates.Gate.u3 0.0 0.0 0.0) [| 1 |] in
+  let c = Qcir.Circuit.add_gate c Gates.Gate.cz [| 0; 1 |] in
+  let elided, errors = Compiler.Pass.elide_rewrite c (Array.make 4 0.0) in
+  check_int "identities dropped" 2 (Qcir.Circuit.length elided);
+  check_int "errors aligned" 2 (Array.length errors);
+  let d = Metrics.Dist.process_distance (circuit_unitary c) (circuit_unitary elided) in
+  check_bool "unitary preserved" true (d < 1e-9)
+
+let test_pass_stack_requires_compact () =
+  let cal = Device.Sycamore.line_device 4 in
+  let no_compact =
+    [ Compiler.Pass.placement; Compiler.Pass.route (); Compiler.Pass.lower ]
+  in
+  check_bool "raises without compact" true
+    (try
+       ignore
+         (Compiler.Pipeline.compile ~options:fast_options ~stack:no_compact ~cal
+            ~isa:Compiler.Isa.s3 (small_circuit ()));
+       false
+     with Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "compiler"
     [
@@ -259,6 +428,7 @@ let () =
           Alcotest.test_case "no gratuitous swaps" `Quick test_router_no_swaps_when_adjacent;
           Alcotest.test_case "semantics" `Quick test_router_semantics_preserved;
           Alcotest.test_case "distant pair" `Quick test_router_distant_pair;
+          Alcotest.test_case "direction lookahead" `Quick test_router_direction_lookahead;
         ] );
       ( "pipeline",
         [
@@ -269,5 +439,17 @@ let () =
           Alcotest.test_case "adaptive selection" `Quick test_pipeline_adaptive_beats_blind;
           Alcotest.test_case "logical marginalization" `Quick test_pipeline_logical_probabilities_marginalize;
           Alcotest.test_case "full family" `Quick test_pipeline_full_family;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "default stack = reference (bit-for-bit)" `Quick
+            test_pass_default_stack_matches_reference;
+          Alcotest.test_case "per-pass metrics + cache hits" `Quick
+            test_pass_metrics_recorded;
+          Alcotest.test_case "1Q-merge preserves unitary" `Quick
+            test_pass_merge_oneq_preserves_unitary;
+          Alcotest.test_case "1Q-merge rewrite" `Quick test_pass_merge_rewrite_small;
+          Alcotest.test_case "trivial elision" `Quick test_pass_elide_trivial;
+          Alcotest.test_case "stack must compact" `Quick test_pass_stack_requires_compact;
         ] );
     ]

@@ -226,6 +226,28 @@ let prop_u3_unitary =
     QCheck.(triple (float_range (-6.3) 6.3) (float_range (-6.3) 6.3) (float_range (-6.3) 6.3))
     (fun (a, b, l) -> Mat.is_unitary ~eps:1e-10 (Gates.Oneq.u3 a b l))
 
+(* qcheck: ZYZ extraction recovers any U(2) up to global phase — the
+   1Q-merge peephole's correctness kernel *)
+let prop_zyz_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"zyz recovers U(2) up to phase"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let u = Qr.haar_unitary (Rng.create seed) 2 in
+      let a, b, l = Gates.Oneq.zyz u in
+      Mat.equal_up_to_phase ~eps:1e-9 u (Gates.Oneq.u3 a b l))
+
+(* the degenerate branches: diagonal and anti-diagonal unitaries *)
+let prop_zyz_degenerate =
+  QCheck.Test.make ~count:100 ~name:"zyz degenerate branches"
+    QCheck.(pair (float_range (-6.3) 6.3) bool)
+    (fun (theta, antidiag) ->
+      let u =
+        if antidiag then Mat.mul Gates.Oneq.x (Gates.Oneq.rz theta)
+        else Gates.Oneq.rz theta
+      in
+      let a, b, l = Gates.Oneq.zyz u in
+      Mat.equal_up_to_phase ~eps:1e-9 u (Gates.Oneq.u3 a b l))
+
 let () =
   Alcotest.run "gates"
     [
@@ -266,5 +288,11 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_fsim_unitary; prop_fsim_excitation_preserving; prop_u3_unitary ] );
+          [
+            prop_fsim_unitary;
+            prop_fsim_excitation_preserving;
+            prop_u3_unitary;
+            prop_zyz_roundtrip;
+            prop_zyz_degenerate;
+          ] );
     ]
