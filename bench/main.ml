@@ -9,23 +9,7 @@
    Quick scale shrinks sample counts (see Config); shapes are preserved.
    EXPERIMENTS.md records paper-vs-measured for each experiment. *)
 
-let experiments : (string * string * (Core.Config.t -> unit)) list =
-  [
-    ("table1", "gate families and fidelity models", fun cfg -> Core.Table1.run ~cfg ());
-    ("table2", "instruction sets studied", fun cfg -> Core.Table2.run ~cfg ());
-    ("fig1", "framework block -> module map", fun cfg -> Core.Fig1.run ~cfg ());
-    ("fig2", "example NuOp decompositions", fun cfg -> Core.Fig2.run ~cfg ());
-    ("fig3", "Aspen-8 calibration table", fun cfg -> Core.Fig3.run ~cfg ());
-    ("fig4", "the NuOp template circuit", fun cfg -> Core.Fig4.run ~cfg ());
-    ("fig5", "noise-adaptive decomposition walkthrough", fun cfg -> Core.Fig5.run ~cfg ());
-    ("fig6", "NuOp vs Cirq gate counts", fun cfg -> Core.Fig6.run ~cfg ());
-    ("fig7", "exact vs approximate decomposition", fun cfg -> Core.Fig7.run ~cfg ());
-    ("fig8", "fSim expressivity heatmaps", fun cfg -> Core.Fig8.run ~cfg ());
-    ("fig9", "Aspen-8 instruction-set study", fun cfg -> Core.Fig9.run ~cfg ());
-    ("fig10", "Sycamore instruction-set study", fun cfg -> Core.Fig10.run ~cfg ());
-    ("fig11", "calibration overhead model", fun cfg -> Core.Fig11.run ~cfg ());
-    ("ablations", "design-decision & extension ablations", fun cfg -> Core.Ablations.run ~cfg ());
-  ]
+let experiments = Core.Registry.all
 
 (* ---------- Bechamel microbenchmarks ---------- *)
 
@@ -138,48 +122,150 @@ let run_ablation () =
     nm.Optimize.Nelder_mead.f nm.iterations nm.evaluations
     (1000.0 *. (t2 -. t1))
 
+(* ---------- JSON artifact ---------- *)
+
+let today () =
+  let tm = Unix.localtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+(* Run one registered experiment, returning its JSON node. Wall time is
+   measured around the document build (all the numeric work happens
+   there; rendering is negligible). *)
+let experiment_json cfg (e : Core.Registry.entry) =
+  let t0 = Unix.gettimeofday () in
+  let doc = e.Core.Registry.run cfg in
+  let seconds = Unix.gettimeofday () -. t0 in
+  Core.Report.to_json ~name:e.Core.Registry.name
+    ~description:e.Core.Registry.description ~seconds doc
+
+let artifact cfg ~scale entries =
+  Core.Json.Obj
+    [
+      ("schema", Core.Json.String "nuop-bench/1");
+      ("date", Core.Json.String (today ()));
+      ("scale", Core.Json.String scale);
+      ("experiments", Core.Json.List (List.map (experiment_json cfg) entries));
+    ]
+
+let write_json ~out json =
+  let s = Core.Json.to_string json ^ "\n" in
+  match out with
+  | None -> print_string s
+  | Some file ->
+    let oc = open_out file in
+    output_string oc s;
+    close_out oc;
+    Printf.printf "wrote %s\n%!" file
+
+(* CI completeness check: the artifact must contain a well-formed entry
+   for every registered experiment. *)
+let verify_json file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let json =
+    try Core.Json.of_string s
+    with Core.Json.Parse_error msg ->
+      Printf.eprintf "%s: JSON parse error: %s\n" file msg;
+      exit 1
+  in
+  let entries =
+    Option.bind (Core.Json.member "experiments" json) Core.Json.to_list
+    |> Option.value ~default:[]
+  in
+  let found =
+    List.filter_map
+      (fun e ->
+        match Core.Json.member "name" e with
+        | Some (Core.Json.String n) -> Some n
+        | _ -> None)
+      entries
+  in
+  let missing =
+    List.filter (fun n -> not (List.mem n found)) Core.Registry.names
+  in
+  if missing <> [] then (
+    Printf.eprintf "%s: missing experiments: %s\n" file (String.concat ", " missing);
+    exit 1);
+  Printf.printf "%s: all %d experiments present\n" file (List.length found)
+
 (* ---------- CLI ---------- *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let paper = List.mem "--paper" args in
+  let json = List.mem "--json" args in
+  let rec out_file = function
+    | "-o" :: f :: _ -> Some f
+    | _ :: rest -> out_file rest
+    | [] -> None
+  in
+  let out = out_file args in
   let names =
-    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
+    let rec strip = function
+      | "-o" :: _ :: rest -> strip rest
+      | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" -> strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip args
   in
   let cfg = if paper then Core.Config.paper else Core.Config.quick in
-  let run_one name =
-    match List.find_opt (fun (n, _, _) -> String.equal n name) experiments with
-    | Some (_, _, f) ->
-      let t0 = Unix.gettimeofday () in
-      f cfg;
-      Printf.printf "\n[%s done in %.1f s]\n%!" name (Unix.gettimeofday () -. t0)
-    | None ->
-      (match name with
-      | "micro" ->
-        run_micro ();
-        run_ablation ()
-      | "all" ->
-        List.iter (fun (n, _, _) -> ignore n) experiments;
-        List.iter
-          (fun (n, _, f) ->
-            let t0 = Unix.gettimeofday () in
-            f cfg;
-            Printf.printf "\n[%s done in %.1f s]\n%!" n (Unix.gettimeofday () -. t0))
-          experiments;
-        run_ablation ()
-      | _ ->
-        Printf.eprintf "unknown experiment %s\navailable:\n" name;
-        List.iter (fun (n, d, _) -> Printf.eprintf "  %-8s %s\n" n d) experiments;
-        Printf.eprintf "  %-8s kernel microbenchmarks\n  %-8s everything\n" "micro" "all";
-        exit 1)
-  in
+  let scale = if paper then "paper" else "quick" in
   match names with
-  | [] ->
-    Printf.printf
-      "NuOp reproduction bench harness: running ALL experiments at %s scale.\n\
-       (pass an experiment name to run one; --paper for published scale)\n%!"
-      (if paper then "paper" else "quick");
-    List.iter run_one (List.map (fun (n, _, _) -> n) experiments);
-    run_micro ();
-    run_ablation ()
-  | names -> List.iter run_one names
+  | [ "verify-json"; file ] -> verify_json file
+  | _ ->
+    let run_one name =
+      match Core.Registry.find name with
+      | Some e ->
+        if json then write_json ~out (experiment_json cfg e)
+        else begin
+          let t0 = Unix.gettimeofday () in
+          Core.Report.print (e.Core.Registry.run cfg);
+          Printf.printf "\n[%s done in %.1f s]\n%!" name (Unix.gettimeofday () -. t0)
+        end
+      | None ->
+        (match name with
+        | "micro" ->
+          run_micro ();
+          run_ablation ()
+        | "all" when json ->
+          let out =
+            Some (Option.value out ~default:(Printf.sprintf "BENCH_%s.json" (today ())))
+          in
+          write_json ~out (artifact cfg ~scale experiments)
+        | "all" ->
+          List.iter
+            (fun (e : Core.Registry.entry) ->
+              let t0 = Unix.gettimeofday () in
+              Core.Report.print (e.run cfg);
+              Printf.printf "\n[%s done in %.1f s]\n%!" e.name
+                (Unix.gettimeofday () -. t0))
+            experiments;
+          run_ablation ()
+        | _ ->
+          Printf.eprintf "unknown experiment %s\navailable:\n" name;
+          List.iter
+            (fun (e : Core.Registry.entry) ->
+              Printf.eprintf "  %-8s %s\n" e.name e.description)
+            experiments;
+          Printf.eprintf
+            "  %-8s kernel microbenchmarks\n  %-8s everything\n" "micro" "all";
+          Printf.eprintf
+            "flags: --paper (published scale), --json [-o FILE]\n\
+             subcommand: verify-json FILE (CI completeness check)\n";
+          exit 1)
+    in
+    (match names with
+    | [] when json -> write_json ~out (artifact cfg ~scale experiments)
+    | [] ->
+      Printf.printf
+        "NuOp reproduction bench harness: running ALL experiments at %s scale.\n\
+         (pass an experiment name to run one; --paper for published scale)\n%!"
+        scale;
+      List.iter run_one Core.Registry.names;
+      run_micro ();
+      run_ablation ()
+    | names -> List.iter run_one names)

@@ -330,31 +330,46 @@ let experiment_cmd =
   let name_arg =
     Arg.(
       required & pos 0 (some string) None
-      & info [] ~docv:"NAME" ~doc:"table1, table2, fig2, fig3, fig5..fig11.")
+      & info [] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "One of: %s."
+               (String.concat ", " Core.Registry.names)))
   in
   let paper = Arg.(value & flag & info [ "paper" ] ~doc:"Paper-scale sample counts.") in
-  let run name paper =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the report to $(docv).")
+  in
+  let run name paper json output =
     let cfg = if paper then Core.Config.paper else Core.Config.quick in
-    match name with
-    | "table1" -> Core.Table1.run ~cfg ()
-    | "table2" -> Core.Table2.run ~cfg ()
-    | "fig1" -> Core.Fig1.run ~cfg ()
-    | "fig4" -> Core.Fig4.run ~cfg ()
-    | "fig2" -> Core.Fig2.run ~cfg ()
-    | "fig3" -> Core.Fig3.run ~cfg ()
-    | "fig5" -> Core.Fig5.run ~cfg ()
-    | "fig6" -> Core.Fig6.run ~cfg ()
-    | "fig7" -> Core.Fig7.run ~cfg ()
-    | "fig8" -> Core.Fig8.run ~cfg ()
-    | "fig9" -> Core.Fig9.run ~cfg ()
-    | "fig10" -> Core.Fig10.run ~cfg ()
-    | "fig11" -> Core.Fig11.run ~cfg ()
-    | "ablations" -> Core.Ablations.run ~cfg ()
-    | n -> invalid_arg (Printf.sprintf "unknown experiment %s" n)
+    match Core.Registry.find name with
+    | None -> invalid_arg (Printf.sprintf "unknown experiment %s" name)
+    | Some e ->
+      let doc = e.Core.Registry.run cfg in
+      let s =
+        if json then
+          Core.Json.to_string
+            (Core.Report.to_json ~name:e.Core.Registry.name
+               ~description:e.Core.Registry.description doc)
+          ^ "\n"
+        else Core.Report.render_text doc
+      in
+      (match output with
+      | None ->
+        print_string s;
+        flush stdout
+      | Some file ->
+        let oc = open_out file in
+        output_string oc s;
+        close_out oc)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one of the paper's table/figure reproductions")
-    Term.(const run $ name_arg $ paper)
+    Term.(const run $ name_arg $ paper $ json $ output)
 
 let () =
   let doc = "calibration & expressivity-efficient quantum instruction sets (ISCA 2021 reproduction)" in

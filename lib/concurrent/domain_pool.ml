@@ -1,0 +1,67 @@
+(* Fixed-size Domain pool for embarrassingly parallel maps.
+
+   A map call spawns [domains - 1] worker domains (the caller participates
+   as the last worker), hands out task indices through one atomic counter,
+   and writes results into a preallocated slot array — so the output order
+   is the input order regardless of which domain ran which task.
+
+   Nesting guard: a map issued from inside a worker runs sequentially on
+   that worker.  The outer map already owns the pool; letting inner loops
+   spawn their own domains would oversubscribe the machine quadratically
+   (suite evaluation over circuits calls the multistart optimizer, which
+   is itself a pool client). *)
+
+let default_domains_override = ref None
+
+let set_default_domains n =
+  default_domains_override := if n <= 0 then None else Some n
+
+let default_domains () =
+  match !default_domains_override with
+  | Some n -> n
+  | None -> (
+    match Sys.getenv_opt "NUOP_DOMAINS" with
+    | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1)
+    | None -> Domain.recommended_domain_count ())
+
+(* true while executing inside a pool worker (per-domain flag) *)
+let inside_pool_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let inside_pool () = Domain.DLS.get inside_pool_key
+
+let map_array ?domains f items =
+  let n = Array.length items in
+  let requested = match domains with Some d -> d | None -> default_domains () in
+  let pool = min requested n in
+  if n = 0 then [||]
+  else if pool <= 1 || Domain.DLS.get inside_pool_key then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      Domain.DLS.set inside_pool_key true;
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (try results.(i) <- Some (f items.(i))
+           with exn ->
+             (* first failure wins; remaining tasks are abandoned *)
+             ignore (Atomic.compare_and_set failure None (Some exn)));
+          loop ()
+        end
+      in
+      loop ();
+      Domain.DLS.set inside_pool_key false
+    in
+    let spawned = List.init (pool - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (match Atomic.get failure with Some exn -> raise exn | None -> ());
+    Array.map
+      (function Some v -> v | None -> assert false (* all slots filled *))
+      results
+  end
+
+let map ?domains f items =
+  Array.to_list (map_array ?domains f (Array.of_list items))

@@ -1,0 +1,29 @@
+(** Fixed-size Domain pool for embarrassingly parallel maps.
+
+    Results always come back in input order, so a parallel map is a
+    drop-in replacement for [List.map] whenever the per-item work is
+    independent and free of unsynchronized shared state. *)
+
+val default_domains : unit -> int
+(** Pool size used when [?domains] is omitted: the [set_default_domains]
+    override if set, else the [NUOP_DOMAINS] environment variable, else
+    [Domain.recommended_domain_count ()]. *)
+
+val set_default_domains : int -> unit
+(** Process-wide override of the default pool size ([<= 0] clears it). *)
+
+val inside_pool : unit -> bool
+(** True while the calling domain is executing a pool task — clients can
+    use it to pick a lazy sequential strategy instead of queueing a
+    nested (and therefore sequentialized) map. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f items] applies [f] to every item on a pool of
+    [domains] domains (caller included) and returns the results in input
+    order.  At pool size 1 — or when called from inside another pool
+    worker — it degrades to a plain sequential map on the calling domain.
+    If any task raises, the first exception is re-raised after the pool
+    drains. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array variant of {!map}. *)

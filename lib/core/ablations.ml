@@ -14,8 +14,8 @@ open Linalg
 
 let qaoa_suite cfg rng n = Apps.Qaoa.circuits rng ~count:(max 4 (cfg.Config.qaoa_count / 2)) n
 
-let ablation_adaptivity cfg rng =
-  Report.subheading "A. noise adaptivity across gate types (Aspen-8, QAOA, R2)";
+let ablation_adaptivity b cfg rng =
+  Report.Builder.subheading b "A. noise adaptivity across gate types (Aspen-8, QAOA, R2)";
   let cal = Device.Aspen8.ring_device () in
   let circuits = qaoa_suite cfg rng 4 in
   let eval adaptive =
@@ -25,14 +25,14 @@ let ablation_adaptivity cfg rng =
     (Study.evaluate_suite ~options ~cal ~isa:Compiler.Isa.r2 ~metric:Study.Xed circuits)
       .Study.mean_metric
   in
-  Report.table ~header:[ "selection"; "QAOA XED" ]
+  Report.Builder.table b ~header:[ "selection"; "QAOA XED" ]
     [
       [ "noise-adaptive (paper)"; Report.f4 (eval true) ];
       [ "fidelity-blind"; Report.f4 (eval false) ];
     ]
 
-let ablation_placement cfg rng =
-  Report.subheading "B. noise-aware vs first-found placement (Aspen-8, QV, S3)";
+let ablation_placement b cfg rng =
+  Report.Builder.subheading b "B. noise-aware vs first-found placement (Aspen-8, QV, S3)";
   let cal = Device.Aspen8.ring_device () in
   let circuits = Apps.Qv.circuits rng ~count:(max 4 (cfg.Config.qv_count / 2)) 3 in
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
@@ -58,14 +58,14 @@ let ablation_placement cfg rng =
   in
   let aware n = Option.get (Compiler.Mapping.best_line cal Compiler.Isa.s3 n) in
   let blind n = Option.get (Compiler.Mapping.trivial cal n) in
-  Report.table ~header:[ "placement"; "QV HOP" ]
+  Report.Builder.table b ~header:[ "placement"; "QV HOP" ]
     [
       [ "noise-aware best line"; Report.f4 (eval aware) ];
       [ "first line found"; Report.f4 (eval blind) ];
     ]
 
-let ablation_min_layers cfg rng =
-  Report.subheading "C. template floor: min_layers 1 (paper) vs 0 (elision allowed)";
+let ablation_min_layers b cfg rng =
+  Report.Builder.subheading b "C. template floor: min_layers 1 (paper) vs 0 (elision allowed)";
   let cal = Device.Aspen8.ring_device () in
   (* weak interactions (small gamma): their Hilbert-Schmidt distance to
      the identity is below Aspen's gate error, so an unconstrained
@@ -89,19 +89,19 @@ let ablation_min_layers cfg rng =
     (r.Study.mean_metric, r.Study.mean_twoq)
   in
   let x1, g1 = eval 1 and x0, g0 = eval 0 in
-  Report.table
+  Report.Builder.table b
     ~header:[ "floor"; "QAOA XED"; "2Q gates" ]
     [
       [ "min_layers = 1"; Report.f4 x1; Report.f2 g1 ];
       [ "min_layers = 0"; Report.f4 x0; Report.f2 g0 ];
     ];
-  Printf.printf
+  Report.Builder.textf b
     "(with elision allowed the compiler drops weak interactions whose\n\
      Hilbert-Schmidt infidelity is below the hardware error — fewer gates\n\
      but a metric-visible bias)\n"
 
-let ablation_cphase_family cfg rng =
-  Report.subheading
+let ablation_cphase_family b cfg rng =
+  Report.Builder.subheading b
     "D. continuous CZ(phi) set (Lacroix et al.) vs Full_fSim vs G7 (Sycamore QAOA)";
   let cal = Device.Sycamore.line_device 6 in
   let circuits = qaoa_suite cfg rng 4 in
@@ -117,14 +117,14 @@ let ablation_cphase_family cfg rng =
         ])
       Compiler.Isa.[ s3; full_cphase; g7; full_fsim ]
   in
-  Report.table ~header:[ "ISA"; "QAOA XED"; "2Q gates" ] rows;
-  Printf.printf
+  Report.Builder.table b ~header:[ "ISA"; "QAOA XED"; "2Q gates" ] rows;
+  Report.Builder.textf b
     "(the controlled-phase family expresses QAOA's ZZ interactions in one\n\
      gate — competitive on QAOA while far cheaper than Full_fSim to\n\
      calibrate, exactly Lacroix et al.'s point)\n"
 
-let ablation_drift cfg =
-  Report.subheading "E. recalibration policy under drift (extension of Sec IX)";
+let ablation_drift b cfg =
+  Report.Builder.subheading b "E. recalibration policy under drift (extension of Sec IX)";
   ignore cfg;
   let rng = Rng.create 77 in
   let rows =
@@ -141,17 +141,17 @@ let ablation_drift cfg =
       (Calibration.Drift.best_policies ~rng ~type_counts:[ 1; 2; 4; 8; 16; 64 ]
          ~base_error:0.0062 ~gates_per_program:60 ())
   in
-  Report.table
+  Report.Builder.table b
     ~header:
       [ "types"; "best period"; "cal time"; "duty cycle"; "err multiplier"; "score" ]
     rows;
-  Printf.printf
+  Report.Builder.textf b
     "(drift makes frequent recalibration attractive, but calibration time\n\
      scales with the gate-type count: beyond ~8 types the duty-cycle loss\n\
      overtakes the expressivity gain — the Fig 11 trade-off on the time axis)\n"
 
-let ablation_mitigation cfg rng =
-  Report.subheading "F. readout-error mitigation (Sycamore QAOA, G2)";
+let ablation_mitigation b cfg rng =
+  Report.Builder.subheading b "F. readout-error mitigation (Sycamore QAOA, G2)";
   let cal = Device.Sycamore.line_device 5 in
   let circuits = qaoa_suite cfg rng 4 in
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
@@ -180,14 +180,14 @@ let ablation_mitigation cfg rng =
     in
     List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
   in
-  Report.table ~header:[ "post-processing"; "QAOA XED" ]
+  Report.Builder.table b ~header:[ "post-processing"; "QAOA XED" ]
     [
       [ "raw"; Report.f4 (eval false) ];
       [ "confusion-matrix inversion"; Report.f4 (eval true) ];
     ]
 
-let ablation_pass_stack cfg rng =
-  Report.subheading
+let ablation_pass_stack b cfg rng =
+  Report.Builder.subheading b
     "H. pass stack: default vs 1Q-merge/elision peepholes (Aspen-8, QAOA, R2)";
   let cal = Device.Aspen8.ring_device () in
   let circuits = qaoa_suite cfg rng 4 in
@@ -198,7 +198,7 @@ let ablation_pass_stack cfg rng =
   in
   let plain = eval Compiler.Pass.default_stack in
   let opt = eval Compiler.Pass.optimized_stack in
-  Report.table
+  Report.Builder.table b
     ~header:[ "stack"; "QAOA XED"; "2Q gates"; "SWAPs" ]
     [
       "default (no peepholes)" :: List.tl (Study.result_row plain);
@@ -210,13 +210,13 @@ let ablation_pass_stack cfg rng =
       ~stack:Compiler.Pass.optimized_stack ~cal ~isa:Compiler.Isa.r2
       (List.hd circuits)
   in
-  Study.print_pass_metrics metrics;
-  Printf.printf
+  Study.add_pass_metrics b metrics;
+  Report.Builder.textf b
     "(the peepholes fuse the decomposer's back-to-back 1Q layers; the metric\n\
      moves only through the 1Q error model — the circuit unitary is preserved)\n"
 
-let ablation_coloring () =
-  Report.subheading "G. parallel calibration batches from edge coloring";
+let ablation_coloring b =
+  Report.Builder.subheading b "G. parallel calibration batches from edge coloring";
   let rows =
     List.map
       (fun (name, topo) ->
@@ -232,19 +232,23 @@ let ablation_coloring () =
         ("line-20", Device.Topology.line 20);
       ]
   in
-  Report.table ~header:[ "topology"; "edges"; "max degree"; "batches" ] rows;
-  Printf.printf
+  Report.Builder.table b ~header:[ "topology"; "edges"; "max degree"; "batches" ] rows;
+  Report.Builder.textf b
     "(the constant 4-batch assumption of Fig 11b matches the grid's true\n\
      edge-chromatic number)\n"
 
-let run ?(cfg = Config.default) () =
-  Report.heading "Ablations: design decisions and extensions";
+let doc ?(cfg = Config.default) () =
+  let b = Report.Builder.create () in
+  Report.Builder.heading b "Ablations: design decisions and extensions";
   let rng = Rng.create (cfg.Config.seed + 12) in
-  ablation_adaptivity cfg rng;
-  ablation_placement cfg rng;
-  ablation_min_layers cfg rng;
-  ablation_cphase_family cfg rng;
-  ablation_drift cfg;
-  ablation_mitigation cfg rng;
-  ablation_pass_stack cfg rng;
-  ablation_coloring ()
+  ablation_adaptivity b cfg rng;
+  ablation_placement b cfg rng;
+  ablation_min_layers b cfg rng;
+  ablation_cphase_family b cfg rng;
+  ablation_drift b cfg;
+  ablation_mitigation b cfg rng;
+  ablation_pass_stack b cfg rng;
+  ablation_coloring b;
+  Report.Builder.doc b
+
+let run ?cfg () = Report.print (doc ?cfg ())

@@ -2,9 +2,10 @@
    Rendered as a textual map from each block to the module implementing
    it, so the harness covers every figure. *)
 
-let run ?cfg:(_ = Config.default) () =
-  Report.heading "Fig 1: simulation framework (block -> module map)";
-  Report.table
+let doc ?cfg:(_ = Config.default) () =
+  let b = Report.Builder.create () in
+  Report.Builder.heading b "Fig 1: simulation framework (block -> module map)";
+  Report.Builder.table b
     ~header:[ "framework block"; "implementation" ]
     [
       [ "QC applications (QV/QAOA/FH/QFT)"; "apps.Qv / Qaoa / Fermi_hubbard / Qft" ];
@@ -15,4 +16,7 @@ let run ?cfg:(_ = Config.default) () =
       [ "calibration model (Sec IX)"; "calibration.Model / Sweep / Drift" ];
       [ "metrics (HOP / XED / XEB / success)"; "metrics.*" ];
       [ "design guidance output"; "core.Fig9 / Fig10 / Fig11" ];
-    ]
+    ];
+  Report.Builder.doc b
+
+let run ?cfg () = Report.print (doc ?cfg ())

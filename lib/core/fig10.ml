@@ -21,15 +21,15 @@ let make_qft_circuits cfg n =
 
 let stack = Compiler.Pass.default_stack
 
-let run_suite cfg cal ~label ~metric circuits ~sets =
-  Report.subheading label;
+let run_suite b cfg cal ~label ~metric circuits ~sets =
+  Report.Builder.subheading b label;
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
   let results =
     List.map
       (fun isa -> Study.evaluate_suite ~options ~stack ~cal ~isa ~metric circuits)
       sets
   in
-  Study.print_results ~metric results;
+  Study.add_results b ~metric results;
   results
 
 (* Full_fSim with its average error rates degraded 1.5x/2x/2.5x — the
@@ -46,9 +46,9 @@ let full_fsim_degraded cfg base_seed ~metric circuits scales =
       (scale, r))
     scales
 
-let print_degraded label rows =
-  Report.subheading (label ^ ": Full_fSim under degraded calibration");
-  Report.table
+let print_degraded b label rows =
+  Report.Builder.subheading b (label ^ ": Full_fSim under degraded calibration");
+  Report.Builder.table b
     ~header:[ "error scale"; "metric"; "2Q gates" ]
     (List.map
        (fun (scale, r) ->
@@ -59,8 +59,8 @@ let print_degraded label rows =
          ])
        rows)
 
-let panel_f cfg =
-  Report.subheading
+let panel_f b cfg =
+  Report.Builder.subheading b
     "(f) Fermi-Hubbard at 10/20 qubits vs hardware error rate (trajectories)";
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
   let sets = Compiler.Isa.[ s2; g7 ] in
@@ -128,54 +128,63 @@ let panel_f cfg =
             :: List.concat_map (fun (f, g) -> [ f; string_of_int g ]) cells)
           sweep
       in
-      Report.subheading (Printf.sprintf "FH %d qubits" n_qubits);
-      Report.table
+      Report.Builder.subheading b (Printf.sprintf "FH %d qubits" n_qubits);
+      Report.Builder.table b
         ~header:[ "avg 2Q err"; "S2 fid"; "S2 #2q"; "G7 fid"; "G7 #2q" ]
         rows)
     cfg.Config.fh_sizes
 
-let run ?(cfg = Config.default) () =
-  Report.heading "Fig 10: Sycamore — reliability across instruction sets";
+let doc ?(cfg = Config.default) () =
+  let b = Report.Builder.create () in
+  Report.Builder.heading b "Fig 10: Sycamore — reliability across instruction sets";
   let rng = Rng.create (cfg.Config.seed + 10) in
   let cal = Device.Sycamore.line_device 6 in
   let qv = Apps.Qv.circuits rng ~count:cfg.Config.qv_count 4 in
-  let _ =
-    run_suite cfg cal
+  let best results =
+    List.fold_left (fun acc r -> Float.max acc r.Study.mean_metric) neg_infinity results
+  in
+  let qv_results =
+    run_suite b cfg cal
       ~label:(Printf.sprintf "(a) %d 4-qubit QV circuits — HOP" (List.length qv))
       ~metric:Study.Hop qv ~sets:isas
   in
-  print_degraded "(a)"
+  Report.Builder.metric b "qv_hop_best" (best qv_results);
+  print_degraded b "(a)"
     (full_fsim_degraded cfg 23 ~metric:Study.Hop qv [ 1.5; 2.0; 2.5 ]);
   let qaoa = Apps.Qaoa.circuits rng ~count:cfg.Config.qaoa_count 4 in
-  let _ =
-    run_suite cfg cal
+  let qaoa_results =
+    run_suite b cfg cal
       ~label:(Printf.sprintf "(b) %d 4-qubit QAOA circuits — XED" (List.length qaoa))
       ~metric:Study.Xed qaoa ~sets:isas
   in
-  print_degraded "(b)"
+  Report.Builder.metric b "qaoa_xed_best" (best qaoa_results);
+  print_degraded b "(b)"
     (full_fsim_degraded cfg 23 ~metric:Study.Xed qaoa [ 1.5; 2.0; 2.5 ]);
   let qft = make_qft_circuits cfg 4 in
   let _ =
-    run_suite cfg cal
+    run_suite b cfg cal
       ~label:
         (Printf.sprintf "(c) 4-qubit QFT (%d basis inputs) — success" (List.length qft))
       ~metric:Study.State_fidelity qft ~sets:isas
   in
   let fh = [ Apps.Fermi_hubbard.circuit 6 ] in
   let _ =
-    run_suite cfg cal ~label:"(d) 6-qubit Fermi-Hubbard Trotter step — XEB fidelity"
+    run_suite b cfg cal ~label:"(d) 6-qubit Fermi-Hubbard Trotter step — XEB fidelity"
       ~metric:Study.Xeb_fidelity fh ~sets:isas
   in
   (* (e): same QAOA suite with no cross-type noise variation *)
   let cal_novary = Device.Sycamore.line_device ~vary:false 6 in
   let _ =
-    run_suite cfg cal_novary
+    run_suite b cfg cal_novary
       ~label:"(e) QAOA XED with NO noise variation across gate types"
       ~metric:Study.Xed qaoa ~sets:isas
   in
-  panel_f cfg;
-  Printf.printf
+  panel_f b cfg;
+  Report.Builder.textf b
     "\nPaper shape check: G-sets beat S-sets; G7 (with SWAP) ~ Full_fSim; the\n\
      continuous set's edge shrinks under 1.5-2.5x degraded calibration; without\n\
      cross-type variation (e) the G1-G6 gains shrink; in (f) G7 consistently\n\
-     beats S2 with the gap widening at higher error rates.\n"
+     beats S2 with the gap widening at higher error rates.\n";
+  Report.Builder.doc b
+
+let run ?cfg () = Report.print (doc ?cfg ())

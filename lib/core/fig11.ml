@@ -8,8 +8,8 @@
 
 open Linalg
 
-let panel_a () =
-  Report.subheading "(a) calibration circuits vs #gate types and device size";
+let panel_a b =
+  Report.Builder.subheading b "(a) calibration circuits vs #gate types and device size";
   let rows =
     List.map
       (fun r ->
@@ -23,9 +23,9 @@ let panel_a () =
          ~type_counts:[ 1; 2; 4; 6; 8; 10 ]
          ())
   in
-  Report.table ~header:[ "qubits"; "pairs"; "types"; "circuits" ] rows;
+  Report.Builder.table b ~header:[ "qubits"; "pairs"; "types"; "circuits" ] rows;
   let m = Calibration.Model.default in
-  Printf.printf
+  Report.Builder.textf b
     "\n54-qubit device, 10 types: %.2e circuits (paper: ~1e7). 1000 qubits:\n\
      %.2e circuits even for 10 types (paper: ~1e9 'nearly a billion').\n"
     (float_of_int
@@ -37,8 +37,9 @@ let panel_a () =
           ~n_pairs:(Calibration.Model.grid_pairs 1000)
           ~n_types:10))
 
-let panel_b cfg =
-  Report.subheading "(b) calibration time vs application reliability (Sycamore QAOA)";
+let panel_b b cfg =
+  Report.Builder.subheading b
+    "(b) calibration time vs application reliability (Sycamore QAOA)";
   let rng = Rng.create (cfg.Config.seed + 11) in
   let qaoa = Apps.Qaoa.circuits rng ~count:(max 4 (cfg.Config.qaoa_count / 2)) 4 in
   let cal = Device.Sycamore.line_device 6 in
@@ -66,17 +67,25 @@ let panel_b cfg =
         ])
       sets
   in
-  Report.table
+  Report.Builder.table b
     ~header:[ "ISA"; "types"; "cal hours"; "cal circuits (54q)"; "QAOA XED"; "2Q gates" ]
     rows;
-  Printf.printf
+  Report.Builder.metric b "cal_hours_8types"
+    (Calibration.Model.time_hours_parallel m ~n_types:8);
+  Report.Builder.metric b "continuous_overhead_factor_8types"
+    (Calibration.Model.continuous_overhead_factor ~n_types:8);
+  Report.Builder.textf b
     "\nContinuous-set comparison: the fSim family needs ~%d calibrated types\n\
      (Foxen et al.); an 8-type set saves %.0fx calibration — two orders of\n\
      magnitude — while G7's reliability approaches Full_fSim (Fig 10).\n"
     Calibration.Model.continuous_family_types
     (Calibration.Model.continuous_overhead_factor ~n_types:8)
 
-let run ?(cfg = Config.default) () =
-  Report.heading "Fig 11: calibration overhead vs application performance";
-  panel_a ();
-  panel_b cfg
+let doc ?(cfg = Config.default) () =
+  let b = Report.Builder.create () in
+  Report.Builder.heading b "Fig 11: calibration overhead vs application performance";
+  panel_a b;
+  panel_b b cfg;
+  Report.Builder.doc b
+
+let run ?cfg () = Report.print (doc ?cfg ())

@@ -1,3 +1,7 @@
 (** Fig 11: calibration overhead vs application performance. *)
 
+val doc : ?cfg:Config.t -> unit -> Report.doc
+(** Build the experiment's report document (runs the experiment). *)
+
 val run : ?cfg:Config.t -> unit -> unit
+(** [doc] rendered as text on stdout (the historical behavior). *)

@@ -4,28 +4,34 @@
 
 open Linalg
 
-let show ~label ~target gate_type cfg =
+let show b ~label ~target gate_type cfg =
   let d =
     Decompose.Cache.decompose_exact ~options:cfg.Config.nuop
       ~threshold:(1.0 -. 1e-7) gate_type ~target
   in
-  Printf.printf "\n(%s) -> %s: %d gate applications, decomposition error %.2e\n" label
+  Report.Builder.textf b "\n(%s) -> %s: %d gate applications, decomposition error %.2e\n"
+    label
     (Gates.Gate_type.name gate_type)
     d.Decompose.Nuop.layers
     (1.0 -. d.Decompose.Nuop.fd);
   let circuit = Decompose.Nuop.to_circuit d ~n_qubits:2 ~qubits:(0, 1) in
-  print_string (Qcir.Printer.render circuit)
+  Report.Builder.text b (Qcir.Printer.render circuit)
 
-let run ?(cfg = Config.default) () =
-  Report.heading "Fig 2: decomposition examples with NuOp";
+let doc ?(cfg = Config.default) () =
+  let b = Report.Builder.create () in
+  Report.Builder.heading b "Fig 2: decomposition examples with NuOp";
   let rng = Rng.create cfg.Config.seed in
   let qv_unitary = Apps.Qv.random_unitary rng in
   let zz_unitary = Gates.Twoq.zz 0.77 in
-  Printf.printf "\n(a) random SU(4) unitary (QV gate), (b) e^{-i 0.77 Z(x)Z} (QAOA gate)\n";
-  show ~label:"a: QV unitary" ~target:qv_unitary Gates.Gate_type.s3 cfg;
-  show ~label:"a: QV unitary" ~target:qv_unitary Gates.Gate_type.s2 cfg;
-  show ~label:"b: QAOA ZZ" ~target:zz_unitary Gates.Gate_type.s3 cfg;
-  show ~label:"b: QAOA ZZ" ~target:zz_unitary Gates.Gate_type.s2 cfg;
-  Printf.printf
+  Report.Builder.textf b
+    "\n(a) random SU(4) unitary (QV gate), (b) e^{-i 0.77 Z(x)Z} (QAOA gate)\n";
+  show b ~label:"a: QV unitary" ~target:qv_unitary Gates.Gate_type.s3 cfg;
+  show b ~label:"a: QV unitary" ~target:qv_unitary Gates.Gate_type.s2 cfg;
+  show b ~label:"b: QAOA ZZ" ~target:zz_unitary Gates.Gate_type.s3 cfg;
+  show b ~label:"b: QAOA ZZ" ~target:zz_unitary Gates.Gate_type.s2 cfg;
+  Report.Builder.textf b
     "\nPaper shape check: QV needs 3 gates with either type; ZZ needs 2 —\n\
-     the CZ gate is more expressive for QAOA, sqrt(iSWAP) for QV.\n"
+     the CZ gate is more expressive for QAOA, sqrt(iSWAP) for QV.\n";
+  Report.Builder.doc b
+
+let run ?cfg () = Report.print (doc ?cfg ())

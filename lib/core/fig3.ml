@@ -1,8 +1,9 @@
 (* Fig 3: the first Aspen-8 ring with per-edge XY(pi)/CZ fidelities (the
    best gate type varies across qubit pairs). *)
 
-let run ?cfg:(_ = Config.default) () =
-  Report.heading "Fig 3: Aspen-8 first ring, measured gate fidelities";
+let doc ?cfg:(_ = Config.default) () =
+  let b = Report.Builder.create () in
+  Report.Builder.heading b "Fig 3: Aspen-8 first ring, measured gate fidelities";
   let rows =
     List.map
       (fun ((a, b), cz, xy) ->
@@ -14,5 +15,8 @@ let run ?cfg:(_ = Config.default) () =
         ])
       (Device.Aspen8.fidelity_table ())
   in
-  Report.table ~header:[ "edge"; "CZ fid"; "XY(pi) fid"; "best" ] rows;
-  Printf.printf "\n(synthesized to match Fig 3's spread; see DESIGN.md)\n"
+  Report.Builder.table b ~header:[ "edge"; "CZ fid"; "XY(pi) fid"; "best" ] rows;
+  Report.Builder.textf b "\n(synthesized to match Fig 3's spread; see DESIGN.md)\n";
+  Report.Builder.doc b
+
+let run ?cfg () = Report.print (doc ?cfg ())

@@ -1,3 +1,7 @@
 (** Fig 3: Aspen-8 ring calibration table. *)
 
+val doc : ?cfg:Config.t -> unit -> Report.doc
+(** Build the experiment's report document (runs the experiment). *)
+
 val run : ?cfg:Config.t -> unit -> unit
+(** [doc] rendered as text on stdout (the historical behavior). *)

@@ -3,9 +3,10 @@
 
 open Linalg
 
-let run ?(cfg = Config.default) () =
-  Report.heading "Fig 4: the NuOp template circuit";
-  Printf.printf
+let doc ?(cfg = Config.default) () =
+  let b = Report.Builder.create () in
+  Report.Builder.heading b "Fig 4: the NuOp template circuit";
+  Report.Builder.textf b
     "\nA template with i layers alternates arbitrary single-qubit rotations\n\
      U3(a, b, l) with the target hardware two-qubit gate:\n\n\
     \    L_i . G_i . L_{i-1} . ... . G_1 . L_0\n\n\
@@ -26,8 +27,12 @@ let run ?(cfg = Config.default) () =
       fh = 1.0;
     }
   in
-  Qcir.Printer.print (Decompose.Nuop.to_circuit d ~n_qubits:2 ~qubits:(0, 1));
-  Printf.printf
+  Report.Builder.text b
+    (Qcir.Printer.render (Decompose.Nuop.to_circuit d ~n_qubits:2 ~qubits:(0, 1)));
+  Report.Builder.textf b
     "\nParameter count: 6(i+1) single-qubit angles + i x %d gate angles = %d\n"
     (Gates.Gate_type.param_count Gates.Gate_type.Fsim_family)
-    (Decompose.Template.param_count template)
+    (Decompose.Template.param_count template);
+  Report.Builder.doc b
+
+let run ?cfg () = Report.print (doc ?cfg ())

@@ -7,8 +7,9 @@
 
 open Linalg
 
-let run ?(cfg = Config.default) () =
-  Report.heading "Fig 5: noise-adaptive approximate decomposition";
+let doc ?(cfg = Config.default) () =
+  let b = Report.Builder.create () in
+  Report.Builder.heading b "Fig 5: noise-adaptive approximate decomposition";
   (* The paper's walkthrough numbers: on (2,3) CZ is the high-fidelity
      gate (94%), on (3,4) the XY-family gate is (95%). *)
   let cal = Device.Aspen8.ring_device () in
@@ -43,14 +44,15 @@ let run ?(cfg = Config.default) () =
     let d =
       Compiler.Pipeline.decompose_on_edge ~options ~cal ~isa ~edge ~target:u
     in
-    let a, b = edge in
-    Printf.printf "qubits (%d,%d):" a b;
+    let qa, qb = edge in
+    Report.Builder.textf b "qubits (%d,%d):" qa qb;
     List.iter
       (fun ty ->
-        Printf.printf "  %s fid=%.3f" (Gates.Gate_type.name ty)
+        Report.Builder.textf b "  %s fid=%.3f" (Gates.Gate_type.name ty)
           (Device.Calibration.twoq_fidelity cal edge ty))
       (Compiler.Isa.gate_types isa);
-    Printf.printf "\n  -> chose %s, %d applications, Fd=%.4f Fh=%.4f Fu=%.4f\n"
+    Report.Builder.textf b
+      "\n  -> chose %s, %d applications, Fd=%.4f Fh=%.4f Fu=%.4f\n"
       (Gates.Gate_type.name d.Decompose.Nuop.gate_type)
       d.Decompose.Nuop.layers d.Decompose.Nuop.fd d.Decompose.Nuop.fh
       (Decompose.Nuop.overall_fidelity d);
@@ -62,7 +64,10 @@ let run ?(cfg = Config.default) () =
     Decompose.Cache.decompose_exact ~options:cfg.Config.nuop Gates.Gate_type.s3
       ~target:u
   in
-  Printf.printf
+  Report.Builder.textf b
     "\nExact decomposition would need %d CZ gates; the approximate pass uses\n\
      %d+%d gates with higher overall fidelity — the Fig 5 effect.\n"
-    exact.Decompose.Nuop.layers d23.Decompose.Nuop.layers d34.Decompose.Nuop.layers
+    exact.Decompose.Nuop.layers d23.Decompose.Nuop.layers d34.Decompose.Nuop.layers;
+  Report.Builder.doc b
+
+let run ?cfg () = Report.print (doc ?cfg ())

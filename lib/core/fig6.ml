@@ -60,13 +60,15 @@ let evaluate cfg mode gate_type unitaries =
     let sum_e = List.fold_left (fun acc (_, e) -> acc +. e) 0.0 results in
     Some (sum_c /. n, sum_e /. n)
 
-let run ?(cfg = Config.default) () =
-  Report.heading "Fig 6: NuOp vs Cirq — hardware gate counts per application unitary";
+let doc ?(cfg = Config.default) () =
+  let b = Report.Builder.create () in
+  Report.Builder.heading b
+    "Fig 6: NuOp vs Cirq — hardware gate counts per application unitary";
   let rng = Rng.create (cfg.Config.seed + 6) in
   let sets = unitary_sets cfg rng in
   List.iter
     (fun (app, unitaries) ->
-      Report.subheading
+      Report.Builder.subheading b
         (Printf.sprintf "%s (%d unitaries)" app (List.length unitaries));
       let rows =
         List.map
@@ -88,9 +90,19 @@ let run ?(cfg = Config.default) () =
                [ n ^ " #g"; n ^ " err" ])
              targets
       in
-      Report.table ~header rows)
+      Report.Builder.table b ~header rows;
+      (* headline: mean exact-NuOp CZ count for this application set *)
+      match evaluate cfg (Nuop_hw 1.0) Gates.Gate_type.s3 unitaries with
+      | Some (c, _) ->
+        Report.Builder.metric b
+          (Printf.sprintf "%s_nuop100_cz_gates" (String.lowercase_ascii app))
+          c
+      | None -> ())
     sets;
-  Printf.printf
+  Report.Builder.textf b
     "\nPaper shape check: NuOp-100%% matches or beats Cirq everywhere (e.g. 3 vs 6\n\
      SYC per QV unitary); approximation (95-99%%) trims a further ~1.05-1.33x;\n\
-     Cirq has no generic sqrt(iSWAP) route (n/s).\n"
+     Cirq has no generic sqrt(iSWAP) route (n/s).\n";
+  Report.Builder.doc b
+
+let run ?cfg () = Report.print (doc ?cfg ())

@@ -1,3 +1,7 @@
 (** Fig 6: NuOp vs Cirq-equivalent baseline gate counts. *)
 
+val doc : ?cfg:Config.t -> unit -> Report.doc
+(** Build the experiment's report document (runs the experiment). *)
+
 val run : ?cfg:Config.t -> unit -> unit
+(** [doc] rendered as text on stdout (the historical behavior). *)

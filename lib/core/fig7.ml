@@ -29,11 +29,14 @@ let evaluate cfg ~approximate ~mu circuits metric =
   let r = Study.evaluate_suite ~options ~cal ~isa:Compiler.Isa.s1 ~metric circuits in
   r.Study.mean_metric
 
-let run ?(cfg = Config.default) () =
-  Report.heading "Fig 7: exact vs approximate decomposition vs SYC error rate";
+let doc ?(cfg = Config.default) () =
+  let b = Report.Builder.create () in
+  Report.Builder.heading b
+    "Fig 7: exact vs approximate decomposition vs SYC error rate";
   let rng = Rng.create (cfg.Config.seed + 7) in
   let qv = Apps.Qv.circuits rng ~count:(max 3 (cfg.Config.qv_count / 2)) 5 in
   let qaoa = Apps.Qaoa.circuits rng ~count:(max 3 (cfg.Config.qaoa_count / 2)) 4 in
+  let syc_point = ref None in
   let rows =
     List.map
       (fun mu ->
@@ -41,6 +44,8 @@ let run ?(cfg = Config.default) () =
         let hop_approx = evaluate cfg ~approximate:true ~mu qv Study.Hop in
         let xed_exact = evaluate cfg ~approximate:false ~mu qaoa Study.Xed in
         let xed_approx = evaluate cfg ~approximate:true ~mu qaoa Study.Xed in
+        if Float.abs (mu -. 0.0062) < 1e-9 then
+          syc_point := Some (hop_exact, hop_approx);
         [
           Printf.sprintf "%.3f%%%s" (100.0 *. mu)
             (if Float.abs (mu -. 0.0062) < 1e-9 then " (SYC)" else "");
@@ -51,10 +56,18 @@ let run ?(cfg = Config.default) () =
         ])
       (error_rates cfg)
   in
-  Report.table
+  Report.Builder.table b
     ~header:
       [ "avg 2Q error"; "QV HOP exact"; "QV HOP approx"; "QAOA XED exact"; "QAOA XED approx" ]
     rows;
-  Printf.printf
+  (match !syc_point with
+  | Some (e, a) ->
+    Report.Builder.metric b "qv_hop_exact_syc" e;
+    Report.Builder.metric b "qv_hop_approx_syc" a
+  | None -> ());
+  Report.Builder.textf b
     "\nPaper shape check: approx ~ exact at low error rates; approx wins at and\n\
-     beyond the Sycamore operating point (0.62%%).\n"
+     beyond the Sycamore operating point (0.62%%).\n";
+  Report.Builder.doc b
+
+let run ?cfg () = Report.print (doc ?cfg ())

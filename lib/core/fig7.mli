@@ -1,3 +1,7 @@
 (** Fig 7: exact vs approximate decomposition vs error rate. *)
 
+val doc : ?cfg:Config.t -> unit -> Report.doc
+(** Build the experiment's report document (runs the experiment). *)
+
 val run : ?cfg:Config.t -> unit -> unit
+(** [doc] rendered as text on stdout (the historical behavior). *)

@@ -58,12 +58,13 @@ let application_sets cfg rng =
     ("SWAP", Apps.Su4_unitaries.swap_set ());
   ]
 
-let run ?(cfg = Config.default) () =
-  Report.heading "Fig 8: average gate counts over the fSim(theta, phi) space";
+let doc ?(cfg = Config.default) () =
+  let b = Report.Builder.create () in
+  Report.Builder.heading b "Fig 8: average gate counts over the fSim(theta, phi) space";
   let rng = Rng.create (cfg.Config.seed + 8) in
   List.iter
     (fun (app, unitaries) ->
-      Report.subheading
+      Report.Builder.subheading b
         (Printf.sprintf "%s (%d unitaries, %dx%d grid, exact decomposition)" app
            (List.length unitaries) cfg.Config.fig8_grid cfg.Config.fig8_grid);
       let table, thetas, phis = compute cfg unitaries in
@@ -72,7 +73,7 @@ let run ?(cfg = Config.default) () =
         let ip = Option.get (List.find_index (fun p -> p = phi) phis) in
         Hashtbl.find table (it, ip)
       in
-      Report.heatmap ~theta_axis:thetas ~phi_axis:phis ~cell;
+      Report.Builder.heatmap b ~theta_axis:thetas ~phi_axis:phis ~cell;
       (* report the S1-S7 cells *)
       let rows =
         List.map
@@ -81,8 +82,14 @@ let run ?(cfg = Config.default) () =
             [ name; Report.f2 (mean_count cfg ty unitaries) ])
           selected_types
       in
-      Report.table ~header:[ "selected type"; app ^ " mean #gates" ] rows)
+      Report.Builder.table b ~header:[ "selected type"; app ^ " mean #gates" ] rows;
+      Report.Builder.metric b
+        (Printf.sprintf "%s_cz_mean_gates" (String.lowercase_ascii app))
+        (mean_count cfg Gates.Gate_type.s3 unitaries))
     (application_sets cfg rng);
-  Printf.printf
+  Report.Builder.textf b
     "\nPaper shape check: QV ~2 near fSim(5pi/12,0) and fSim(pi/6,pi); QAOA ~2 near\n\
-     iSWAP/CZ; SWAP costs 3 almost everywhere but 1 at fSim(pi/2,pi).\n"
+     iSWAP/CZ; SWAP costs 3 almost everywhere but 1 at fSim(pi/2,pi).\n";
+  Report.Builder.doc b
+
+let run ?cfg () = Report.print (doc ?cfg ())

@@ -9,15 +9,17 @@ let isas =
 
 let stack = Compiler.Pass.default_stack
 
-let run_benchmark cfg cal ~label ~metric circuits =
-  Report.subheading label;
+let run_benchmark b cfg cal ~label ~slug ~metric circuits =
+  Report.Builder.subheading b label;
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
   let results =
     List.map
       (fun isa -> Study.evaluate_suite ~options ~stack ~cal ~isa ~metric circuits)
       isas
   in
-  Study.print_results ~metric results;
+  Study.add_results b ~metric results;
+  let best = List.fold_left (fun acc r -> Float.max acc r.Study.mean_metric) neg_infinity results in
+  Report.Builder.metric b (slug ^ "_best") best;
   results
 
 let qft_circuits cfg =
@@ -31,32 +33,36 @@ let qft_circuits cfg =
       done;
       Qcir.Circuit.append !c (Apps.Qft.circuit n))
 
-let run ?(cfg = Config.default) () =
-  Report.heading "Fig 9: Aspen-8 — reliability across instruction sets";
+let doc ?(cfg = Config.default) () =
+  let b = Report.Builder.create () in
+  Report.Builder.heading b "Fig 9: Aspen-8 — reliability across instruction sets";
   let rng = Rng.create (cfg.Config.seed + 9) in
   let cal = Device.Aspen8.ring_device () in
   let qv = Apps.Qv.circuits rng ~count:cfg.Config.qv_count 3 in
   let _ =
-    run_benchmark cfg cal
+    run_benchmark b cfg cal
       ~label:(Printf.sprintf "(a) %d 3-qubit QV circuits — HOP (threshold 2/3)"
                 (List.length qv))
-      ~metric:Study.Hop qv
+      ~slug:"qv_hop" ~metric:Study.Hop qv
   in
   let qaoa = Apps.Qaoa.circuits rng ~count:cfg.Config.qaoa_count 4 in
   let _ =
-    run_benchmark cfg cal
+    run_benchmark b cfg cal
       ~label:(Printf.sprintf "(b) %d 4-qubit QAOA circuits — cross-entropy difference"
                 (List.length qaoa))
-      ~metric:Study.Xed qaoa
+      ~slug:"qaoa_xed" ~metric:Study.Xed qaoa
   in
   let qft = qft_circuits cfg in
   let _ =
-    run_benchmark cfg cal
+    run_benchmark b cfg cal
       ~label:
         (Printf.sprintf "(c) 3-qubit QFT (%d basis inputs) — success rate"
            (List.length qft))
-      ~metric:Study.State_fidelity qft
+      ~slug:"qft_success" ~metric:Study.State_fidelity qft
   in
-  Printf.printf
+  Report.Builder.textf b
     "\nPaper shape check: R-sets beat the single-type sets; R5 (with native SWAP)\n\
-     approaches Full_XY; on QV only multi-type sets cross the 2/3 threshold.\n"
+     approaches Full_XY; on QV only multi-type sets cross the 2/3 threshold.\n";
+  Report.Builder.doc b
+
+let run ?cfg () = Report.print (doc ?cfg ())

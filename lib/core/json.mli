@@ -1,0 +1,31 @@
+(** Minimal JSON tree, emitter and parser for the results layer.
+
+    Self-contained (the container image carries no JSON package); covers
+    exactly what the bench artifacts need.  Emission is deterministic:
+    object fields keep insertion order and floats use the shortest
+    representation that survives a parse round trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : ?indent:int -> t -> string
+(** Render; [indent] spaces per level (default 2), [0] for compact. *)
+
+val of_string : string -> t
+(** Parse a complete JSON document.  @raise Parse_error on malformed
+    input or trailing bytes. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on other constructors. *)
+
+val to_list : t -> t list option
+val to_string_value : t -> string option
+val to_float_value : t -> float option

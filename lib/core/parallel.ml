@@ -1,0 +1,14 @@
+(* Core-level facade over the Domain pool, adding deterministic per-task
+   RNG seeding.  The two embarrassingly parallel hot loops behind the
+   instruction-set studies — Study.evaluate_suite over circuits and the
+   NuOp multistart loop over optimizer starts — both run through this
+   pool. *)
+
+include Concurrent.Domain_pool
+
+(* Seed task [i] with [Rng.split rng i]: a pure function of the parent
+   state and the task index, so the numbers drawn by each task are
+   independent of the pool size and of which domain ran it. *)
+let map_seeded ?domains ~rng f items =
+  let seeded = List.mapi (fun i item -> (Linalg.Rng.split rng i, item)) items in
+  map ?domains (fun (task_rng, item) -> f task_rng item) seeded

@@ -1,0 +1,19 @@
+(** Domain-pool parallel maps for the experiment layer.
+
+    Re-exports {!Concurrent.Domain_pool} (fixed pool sized by
+    [Domain.recommended_domain_count], sequential fallback at pool
+    size 1, results in input order) and adds deterministic per-task RNG
+    seeding on top. *)
+
+val default_domains : unit -> int
+val set_default_domains : int -> unit
+val inside_pool : unit -> bool
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_seeded :
+  ?domains:int -> rng:Linalg.Rng.t -> (Linalg.Rng.t -> 'a -> 'b) -> 'a list -> 'b list
+(** [map_seeded ~rng f items] runs [f (Rng.split rng i) item_i] for every
+    item on the pool.  Substream derivation is pure in [(rng state, i)],
+    so sequential and parallel schedules hand every task identical
+    numbers and the overall result is reproducible at any pool size. *)

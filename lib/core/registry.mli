@@ -1,0 +1,17 @@
+(** The single source of truth for the paper's experiments.
+
+    [bench/main.exe] and [bin/nuop_cli.exe experiment] both dispatch
+    through this list; adding an entry here is all it takes to appear in
+    both front ends, the JSON artifact and the CI completeness check. *)
+
+type entry = {
+  name : string;  (** CLI name, e.g. ["fig9"] *)
+  description : string;
+  run : Config.t -> Report.doc;
+}
+
+val all : entry list
+(** In presentation order: tables, figures, ablations. *)
+
+val find : string -> entry option
+val names : string list

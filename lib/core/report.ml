@@ -1,35 +1,40 @@
-(* Plain-text table/series rendering shared by the experiment drivers
-   (the bench harness prints the same rows/series the paper plots). *)
+(* Typed experiment report documents.
 
-let heading title =
-  let line = String.make (String.length title) '=' in
-  Printf.printf "\n%s\n%s\n" title line
+   Every experiment driver builds a [doc] — a list of typed blocks plus
+   headline metrics — instead of printing as it goes.  Two renderers
+   consume the same document:
 
-let subheading title = Printf.printf "\n-- %s --\n" title
+   - [render_text] reproduces the historical terminal output byte for
+     byte (locked by the fig11 golden test), so the refactor is invisible
+     to anyone reading the bench logs;
+   - [to_json] emits the machine-readable form used by
+     `bench all --json` / `nuop experiment --json` to produce BENCH
+     artifacts that track the reproduction over time.
 
-(* Column-aligned table. *)
-let table ~header rows =
-  let all = header :: rows in
-  let cols = List.length header in
-  List.iter (fun r -> assert (List.length r = cols)) rows;
-  let widths = Array.make cols 0 in
-  List.iter
-    (List.iteri (fun c cell -> widths.(c) <- max widths.(c) (String.length cell)))
-    all;
-  let print_row r =
-    List.iteri
-      (fun c cell ->
-        let pad = widths.(c) - String.length cell in
-        Printf.printf "%s%s  " cell (String.make pad ' '))
-      r;
-    print_newline ()
-  in
-  print_row header;
-  List.iteri
-    (fun c _ -> Printf.printf "%s  " (String.make widths.(c) '-'))
-    header;
-  print_newline ();
-  List.iter print_row rows
+   The legacy direct-print helpers ([heading], [table], ...) remain for
+   interactive CLI subcommands; they render a single block through the
+   same text renderer. *)
+
+type block =
+  | Heading of string
+  | Subheading of string
+  | Table of { header : string list; rows : string list list }
+  | Text of string  (** verbatim free text, printed as-is *)
+  | Series of { name : string; points : (float * float) list }
+  | Bars of { width : int; max_value : float; rows : (string * float) list }
+  | Heatmap of {
+      theta_axis : float list;
+      phi_axis : float list;
+      cells : float list list;  (** row [i] belongs to [theta_axis] element [i] *)
+    }
+
+type doc = { blocks : block list; metrics : (string * float) list }
+
+(* ---------- shared formatting helpers ---------- *)
+
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+let f4 v = Printf.sprintf "%.4f" v
 
 let bar ?(width = 40) ~max_value value =
   let frac = if max_value <= 0.0 then 0.0 else Float.max 0.0 (value /. max_value) in
@@ -37,28 +42,186 @@ let bar ?(width = 40) ~max_value value =
   let n = min width n in
   String.make n '#' ^ String.make (width - n) ' '
 
-let f2 v = Printf.sprintf "%.2f" v
-let f3 v = Printf.sprintf "%.3f" v
-let f4 v = Printf.sprintf "%.4f" v
-
 (* One heatmap cell: mean gate count rendered as a single digit (counts
    above 9 are clamped). *)
 let heat_digit v =
   if Float.is_nan v then "." else string_of_int (min 9 (int_of_float (Float.round v)))
 
-let heatmap ~theta_axis ~phi_axis ~cell =
-  (* rows: theta descending so the origin is bottom-left like the paper *)
-  List.iter
-    (fun theta ->
-      Printf.printf "%5.2f | " theta;
-      List.iter (fun phi -> Printf.printf "%s " (heat_digit (cell ~theta ~phi))) phi_axis;
-      print_newline ())
-    (List.rev theta_axis);
-  Printf.printf "      +-%s\n" (String.make (2 * List.length phi_axis) '-');
-  Printf.printf "        phi: %.2f .. %.2f (theta on y)\n"
-    (List.hd phi_axis)
-    (List.nth phi_axis (List.length phi_axis - 1))
-
 let timer () =
   let t0 = Sys.time () in
   fun () -> Sys.time () -. t0
+
+(* ---------- text renderer ---------- *)
+
+let render_block buf block =
+  let bpf fmt = Printf.bprintf buf fmt in
+  match block with
+  | Heading title ->
+    let line = String.make (String.length title) '=' in
+    bpf "\n%s\n%s\n" title line
+  | Subheading title -> bpf "\n-- %s --\n" title
+  | Text s -> Buffer.add_string buf s
+  | Table { header; rows } ->
+    let all = header :: rows in
+    let cols = List.length header in
+    List.iter (fun r -> assert (List.length r = cols)) rows;
+    let widths = Array.make cols 0 in
+    List.iter
+      (List.iteri (fun c cell -> widths.(c) <- max widths.(c) (String.length cell)))
+      all;
+    let render_row r =
+      List.iteri
+        (fun c cell ->
+          let pad = widths.(c) - String.length cell in
+          bpf "%s%s  " cell (String.make pad ' '))
+        r;
+      bpf "\n"
+    in
+    render_row header;
+    List.iteri (fun c _ -> bpf "%s  " (String.make widths.(c) '-')) header;
+    bpf "\n";
+    List.iter render_row rows
+  | Series { name; points } ->
+    bpf "%s:\n" name;
+    List.iter (fun (x, y) -> bpf "  %10.4f  %10.4f\n" x y) points
+  | Bars { width; max_value; rows } ->
+    let label_w =
+      List.fold_left (fun acc (label, _) -> max acc (String.length label)) 0 rows
+    in
+    List.iter
+      (fun (label, v) ->
+        bpf "%-*s |%s| %s\n" label_w label (bar ~width ~max_value v) (f4 v))
+      rows
+  | Heatmap { theta_axis; phi_axis; cells } ->
+    (* rows: theta descending so the origin is bottom-left like the paper *)
+    List.iter
+      (fun (theta, row) ->
+        bpf "%5.2f | " theta;
+        List.iter (fun v -> bpf "%s " (heat_digit v)) row;
+        bpf "\n")
+      (List.rev (List.combine theta_axis cells));
+    bpf "      +-%s\n" (String.make (2 * List.length phi_axis) '-');
+    bpf "        phi: %.2f .. %.2f (theta on y)\n" (List.hd phi_axis)
+      (List.nth phi_axis (List.length phi_axis - 1))
+
+let render_text doc =
+  let buf = Buffer.create 4096 in
+  List.iter (render_block buf) doc.blocks;
+  Buffer.contents buf
+
+let print doc =
+  print_string (render_text doc);
+  flush stdout
+
+(* ---------- JSON renderer ---------- *)
+
+let json_strings items = Json.List (List.map (fun s -> Json.String s) items)
+let json_floats items = Json.List (List.map (fun v -> Json.Float v) items)
+
+let block_to_json = function
+  | Heading s -> Json.Obj [ ("type", Json.String "heading"); ("text", Json.String s) ]
+  | Subheading s ->
+    Json.Obj [ ("type", Json.String "subheading"); ("text", Json.String s) ]
+  | Text s -> Json.Obj [ ("type", Json.String "text"); ("text", Json.String s) ]
+  | Table { header; rows } ->
+    Json.Obj
+      [
+        ("type", Json.String "table");
+        ("header", json_strings header);
+        ("rows", Json.List (List.map json_strings rows));
+      ]
+  | Series { name; points } ->
+    Json.Obj
+      [
+        ("type", Json.String "series");
+        ("name", Json.String name);
+        ("points", Json.List (List.map (fun (x, y) -> json_floats [ x; y ]) points));
+      ]
+  | Bars { width = _; max_value; rows } ->
+    Json.Obj
+      [
+        ("type", Json.String "bars");
+        ("max_value", Json.Float max_value);
+        ( "rows",
+          Json.List
+            (List.map
+               (fun (label, v) ->
+                 Json.Obj [ ("label", Json.String label); ("value", Json.Float v) ])
+               rows) );
+      ]
+  | Heatmap { theta_axis; phi_axis; cells } ->
+    Json.Obj
+      [
+        ("type", Json.String "heatmap");
+        ("theta_axis", json_floats theta_axis);
+        ("phi_axis", json_floats phi_axis);
+        ("cells", Json.List (List.map json_floats cells));
+      ]
+
+let to_json ?name ?description ?seconds doc =
+  let optional key v f = match v with None -> [] | Some v -> [ (key, f v) ] in
+  Json.Obj
+    (optional "name" name (fun s -> Json.String s)
+    @ optional "description" description (fun s -> Json.String s)
+    @ optional "seconds" seconds (fun s -> Json.Float s)
+    @ [
+        ( "metrics",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) doc.metrics) );
+        ("blocks", Json.List (List.map block_to_json doc.blocks));
+      ])
+
+(* ---------- document builder ---------- *)
+
+module Builder = struct
+  (* blocks in reverse order; consecutive Text fragments are merged so the
+     JSON form stays readable (merging cannot change the text rendering,
+     which is plain concatenation) *)
+  type t = {
+    mutable rev_blocks : block list;
+    mutable rev_metrics : (string * float) list;
+  }
+
+  let create () = { rev_blocks = []; rev_metrics = [] }
+
+  let add b block = b.rev_blocks <- block :: b.rev_blocks
+
+  let heading b title = add b (Heading title)
+  let subheading b title = add b (Subheading title)
+  let table b ~header rows = add b (Table { header; rows })
+  let series b ~name points = add b (Series { name; points })
+  let bars b ?(width = 40) ~max_value rows = add b (Bars { width; max_value; rows })
+
+  let text b s =
+    match b.rev_blocks with
+    | Text prev :: rest -> b.rev_blocks <- Text (prev ^ s) :: rest
+    | _ -> add b (Text s)
+
+  let textf b fmt = Printf.ksprintf (text b) fmt
+
+  let heatmap b ~theta_axis ~phi_axis ~cell =
+    let cells =
+      List.map (fun theta -> List.map (fun phi -> cell ~theta ~phi) phi_axis) theta_axis
+    in
+    add b (Heatmap { theta_axis; phi_axis; cells })
+
+  let metric b name value = b.rev_metrics <- (name, value) :: b.rev_metrics
+
+  let doc b = { blocks = List.rev b.rev_blocks; metrics = List.rev b.rev_metrics }
+end
+
+(* ---------- legacy direct-print API (interactive CLI paths) ---------- *)
+
+let print_block block =
+  let buf = Buffer.create 256 in
+  render_block buf block;
+  print_string (Buffer.contents buf)
+
+let heading title = print_block (Heading title)
+let subheading title = print_block (Subheading title)
+let table ~header rows = print_block (Table { header; rows })
+
+let heatmap ~theta_axis ~phi_axis ~cell =
+  let cells =
+    List.map (fun theta -> List.map (fun phi -> cell ~theta ~phi) phi_axis) theta_axis
+  in
+  print_block (Heatmap { theta_axis; phi_axis; cells })

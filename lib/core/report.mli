@@ -1,18 +1,89 @@
-(** Plain-text table/series rendering for the experiment drivers. *)
+(** Typed experiment report documents with text and JSON renderers.
+
+    Drivers build a {!doc} through {!Builder} instead of printing;
+    {!render_text} reproduces the historical terminal output byte for
+    byte while {!to_json} powers the machine-readable bench artifacts. *)
+
+type block =
+  | Heading of string
+  | Subheading of string
+  | Table of { header : string list; rows : string list list }
+  | Text of string  (** verbatim free text, printed as-is *)
+  | Series of { name : string; points : (float * float) list }
+  | Bars of { width : int; max_value : float; rows : (string * float) list }
+  | Heatmap of {
+      theta_axis : float list;
+      phi_axis : float list;
+      cells : float list list;  (** row [i] belongs to [theta_axis] element [i] *)
+    }
+
+type doc = {
+  blocks : block list;
+  metrics : (string * float) list;
+      (** headline metrics surfaced at the top of the JSON artifact *)
+}
+
+(** Accumulates blocks in call order; the text rendering of the result is
+    byte-identical to what direct printing of the same calls produced. *)
+module Builder : sig
+  type t
+
+  val create : unit -> t
+  val heading : t -> string -> unit
+  val subheading : t -> string -> unit
+  val table : t -> header:string list -> string list list -> unit
+  val series : t -> name:string -> (float * float) list -> unit
+  val bars : t -> ?width:int -> max_value:float -> (string * float) list -> unit
+  val text : t -> string -> unit
+  (** Verbatim text; consecutive fragments merge into one block. *)
+
+  val textf : t -> ('a, unit, string, unit) format4 -> 'a
+
+  val heatmap :
+    t ->
+    theta_axis:float list ->
+    phi_axis:float list ->
+    cell:(theta:float -> phi:float -> float) ->
+    unit
+  (** Samples [cell] over the grid at build time; the document stores the
+      values, not the closure. *)
+
+  val metric : t -> string -> float -> unit
+  (** Record a headline metric (JSON only; no text rendering). *)
+
+  val doc : t -> doc
+end
+
+val render_text : doc -> string
+(** Byte-identical to the pre-document printed output. *)
+
+val print : doc -> unit
+(** [print d] writes [render_text d] to stdout and flushes. *)
+
+val to_json : ?name:string -> ?description:string -> ?seconds:float -> doc -> Json.t
+(** Structured form: name/description/wall-time (when given), the
+    headline metrics object, and every block as a typed JSON node. *)
+
+(** {1 Formatting helpers} *)
+
+val f2 : float -> string
+val f3 : float -> string
+val f4 : float -> string
+val bar : ?width:int -> max_value:float -> float -> string
+val heat_digit : float -> string
+val timer : unit -> unit -> float
+
+(** {1 Legacy direct-print API}
+
+    Single blocks rendered straight to stdout — used by interactive CLI
+    subcommands ([nuop devices], [nuop compile --trace-passes], ...). *)
 
 val heading : string -> unit
 val subheading : string -> unit
 val table : header:string list -> string list list -> unit
-val bar : ?width:int -> max_value:float -> float -> string
-val f2 : float -> string
-val f3 : float -> string
-val f4 : float -> string
-val heat_digit : float -> string
 
 val heatmap :
   theta_axis:float list ->
   phi_axis:float list ->
   cell:(theta:float -> phi:float -> float) ->
   unit
-
-val timer : unit -> unit -> float

@@ -61,15 +61,23 @@ let evaluate_circuit ?(options = Compiler.Pipeline.default_options)
   in
   (value, compiled.twoq_count, compiled.swap_count)
 
-let evaluate_suite ?options ?stack ~cal ~isa ~metric circuits =
+(* The per-circuit evaluations are independent (the only shared mutable
+   state on the path is Decompose.Cache, which is domain-safe), so they
+   run on the Domain pool.  Every circuit's value is deterministic and
+   the mean is reduced in list order, so the result record is identical
+   at every pool size — the determinism test in test_core locks this. *)
+let evaluate_suite ?options ?stack ?domains ~cal ~isa ~metric circuits =
   assert (circuits <> []);
   let n = float_of_int (List.length circuits) in
+  let evaluations =
+    Parallel.map ?domains
+      (fun circuit -> evaluate_circuit ?options ?stack ~cal ~isa ~metric circuit)
+      circuits
+  in
   let sum_m, sum_g, sum_s =
     List.fold_left
-      (fun (sm, sg, ss) circuit ->
-        let m, g, s = evaluate_circuit ?options ?stack ~cal ~isa ~metric circuit in
-        (sm +. m, sg + g, ss + s))
-      (0.0, 0, 0) circuits
+      (fun (sm, sg, ss) (m, g, s) -> (sm +. m, sg + g, ss + s))
+      (0.0, 0, 0) evaluations
   in
   {
     isa_name = Compiler.Isa.name isa;
@@ -81,10 +89,20 @@ let evaluate_suite ?options ?stack ~cal ~isa ~metric circuits =
 let result_row r =
   [ r.isa_name; Report.f4 r.mean_metric; Report.f2 r.mean_twoq; Report.f2 r.mean_swaps ]
 
+let results_header ~metric = [ "ISA"; metric_name metric; "2Q gates"; "SWAPs" ]
+
+let results_table ~metric results =
+  Report.Table { header = results_header ~metric; rows = List.map result_row results }
+
+let add_results b ~metric results =
+  Report.Builder.table b ~header:(results_header ~metric) (List.map result_row results)
+
 let print_results ~metric results =
-  Report.table
-    ~header:[ "ISA"; metric_name metric; "2Q gates"; "SWAPs" ]
-    (List.map result_row results)
+  Report.table ~header:(results_header ~metric) (List.map result_row results)
+
+let add_pass_metrics b metrics =
+  Report.Builder.table b ~header:Compiler.Pass_manager.header
+    (Compiler.Pass_manager.rows metrics)
 
 let print_pass_metrics metrics =
   Report.table ~header:Compiler.Pass_manager.header

@@ -1,7 +1,8 @@
 (* Table II: the instruction sets studied. *)
 
-let run ?cfg:(_ = Config.default) () =
-  Report.heading "Table II: instruction sets studied";
+let doc ?cfg:(_ = Config.default) () =
+  let b = Report.Builder.create () in
+  Report.Builder.heading b "Table II: instruction sets studied";
   let row isa =
     [
       Compiler.Isa.name isa;
@@ -10,6 +11,9 @@ let run ?cfg:(_ = Config.default) () =
         (List.map Gates.Gate_type.name (Compiler.Isa.gate_types isa));
     ]
   in
-  Report.table
+  Report.Builder.table b
     ~header:[ "set"; "#2Q types"; "gate types" ]
-    (List.map row Compiler.Isa.all)
+    (List.map row Compiler.Isa.all);
+  Report.Builder.doc b
+
+let run ?cfg () = Report.print (doc ?cfg ())

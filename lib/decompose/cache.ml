@@ -5,7 +5,14 @@
    so exact decompositions, approximate decompositions at any error rate,
    and noise-adaptive selections across instruction sets all share one
    cached curve.  Keys are (unitary digest, gate-type name, max-layers).
-   A size cap evicts wholesale; per-experiment working sets are small. *)
+   A size cap evicts wholesale; per-experiment working sets are small.
+
+   The cache is shared across the Domain pool used by the parallel suite
+   evaluator: the table is guarded by a mutex and the hit/miss counters
+   are atomics.  Curve optimization runs OUTSIDE the lock — two domains
+   missing on the same key may both compute the (identical, deterministic)
+   curve, which wastes a little work but never blocks the whole pool on
+   one optimization. *)
 
 open Linalg
 
@@ -13,10 +20,12 @@ let max_entries = 100_000
 
 let table : (string, (int * float array * float) array) Hashtbl.t = Hashtbl.create 4096
 
+let lock = Mutex.create ()
+
 (* Lifetime hit/miss counters (reset by [clear]); the pass manager
    snapshots them around each pass to attribute hits per stage. *)
-let hits = ref 0
-let misses = ref 0
+let hits = Atomic.make 0
+let misses = Atomic.make 0
 
 let make_key ~target ~gate_type ~options =
   Printf.sprintf "%s|%s|%d-%d"
@@ -24,17 +33,22 @@ let make_key ~target ~gate_type ~options =
     (Gates.Gate_type.name gate_type)
     options.Nuop.min_layers options.Nuop.max_layers
 
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let fd_curve ?(options = Nuop.default_options) gate_type ~target =
   let key = make_key ~target ~gate_type ~options in
-  match Hashtbl.find_opt table key with
+  match with_lock (fun () -> Hashtbl.find_opt table key) with
   | Some curve ->
-    incr hits;
+    Atomic.incr hits;
     curve
   | None ->
-    incr misses;
+    Atomic.incr misses;
     let curve = Nuop.fd_curve ~options gate_type ~target in
-    if Hashtbl.length table >= max_entries then Hashtbl.reset table;
-    Hashtbl.replace table key curve;
+    with_lock (fun () ->
+        if Hashtbl.length table >= max_entries then Hashtbl.reset table;
+        Hashtbl.replace table key curve);
     curve
 
 let decompose_exact ?(options = Nuop.default_options) ?threshold gate_type ~target =
@@ -44,9 +58,9 @@ let decompose_approx ?(options = Nuop.default_options) ~fh gate_type ~target =
   Nuop.approx_of_curve ~fh gate_type (fd_curve ~options gate_type ~target)
 
 let clear () =
-  Hashtbl.reset table;
-  hits := 0;
-  misses := 0
+  with_lock (fun () -> Hashtbl.reset table);
+  Atomic.set hits 0;
+  Atomic.set misses 0
 
-let size () = Hashtbl.length table
-let stats () = (!hits, !misses)
+let size () = with_lock (fun () -> Hashtbl.length table)
+let stats () = (Atomic.get hits, Atomic.get misses)

@@ -24,4 +24,6 @@ val size : unit -> int
 
 val stats : unit -> int * int
 (** [(hits, misses)] of the fidelity-curve lookups since the last
-    [clear]. *)
+    [clear].  The counters are atomic and the table is mutex-guarded, so
+    lookups may run concurrently from the Domain pool; every lookup is
+    counted exactly once. *)

@@ -42,7 +42,7 @@ let device ?(seed = 23) ?(vary = true) ?(types = default_types)
      continuous-family error either way *)
   let edge_base = Hashtbl.create 128 in
   List.iter (fun e -> Hashtbl.replace edge_base e (sample_error ~mu ~sigma rng)) edges;
-  let family_rng = Linalg.Rng.split rng in
+  let family_rng = Linalg.Rng.child rng in
   let family_base = Hashtbl.create 128 in
   List.iter
     (fun e ->
@@ -79,7 +79,7 @@ let line_device ?(seed = 23) ?(vary = true) ?(types = default_types)
   let edges = Topology.edges topology in
   let edge_base = Hashtbl.create 16 in
   List.iter (fun e -> Hashtbl.replace edge_base e (sample_error ~mu ~sigma rng)) edges;
-  let family_rng = Linalg.Rng.split rng in
+  let family_rng = Linalg.Rng.child rng in
   let family_base = Hashtbl.create 16 in
   List.iter
     (fun e ->

@@ -20,9 +20,24 @@ let next_int64 t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let split t =
+let child t =
   let seed = next_int64 t in
   { state = seed }
+
+(* splitmix64 finalizer: bijective avalanche mix of one word. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Indexed substream derivation: a pure function of (state, i) that does
+   NOT advance the parent, so a parallel map can seed task [i] without
+   caring which domain — or in which order — tasks are dispatched.  The
+   double mix keeps substreams decorrelated from both each other and the
+   parent's own future output. *)
+let split t i =
+  let z = Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden) in
+  { state = mix64 (Int64.logxor (mix64 z) 0x2545F4914F6CDD1DL) }
 
 (* Uniform in [0, 1): use the top 53 bits. *)
 let float t =

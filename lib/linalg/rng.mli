@@ -11,8 +11,17 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy continuing from the current state. *)
 
-val split : t -> t
-(** Child generator whose stream is independent of the parent's future. *)
+val child : t -> t
+(** Child generator whose stream is independent of the parent's future.
+    Advances the parent by one draw. *)
+
+val split : t -> int -> t
+(** [split t i] derives the [i]-th substream of [t]: a pure function of
+    the parent's current state and [i] that does not advance the parent.
+    Equal [(state, i)] pairs always yield equal streams, and distinct
+    indices yield pairwise distinct streams — the per-task seeding rule
+    used by [Core.Parallel] so parallel and sequential schedules draw
+    identical numbers. *)
 
 val float : t -> float
 (** Uniform in [0, 1). *)

@@ -24,3 +24,26 @@ val run :
     value reaches [target].  [first_start] overrides the first point
     (NuOp seeds it with the all-zeros template, which is exact for
     near-identity targets). *)
+
+val run_parallel :
+  ?first_start:float array ->
+  ?domains:int ->
+  rng:Linalg.Rng.t ->
+  starts:int ->
+  dim:int ->
+  lo:float ->
+  hi:float ->
+  target:float ->
+  optimize:(float array -> 'a) ->
+  value:('a -> float) ->
+  unit ->
+  'a run
+(** Like {!run}, but the starts are optimized on the Domain pool
+    ([domains] defaults to {!Concurrent.Domain_pool.default_domains}).
+    All start points are drawn from [rng] up front in the sequential
+    order, and the best/early-stop selection replays the sequential scan
+    over the completed results — so when [rng] is private to the call the
+    returned record is bit-for-bit identical to {!run} at any pool size.
+    [optimize] must be safe to call concurrently from several domains.
+    At pool size 1 (or from inside a pool worker) it degrades to the lazy
+    sequential loop, skipping starts past the early stop. *)

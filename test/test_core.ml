@@ -88,6 +88,86 @@ let test_swap_native_instruction_reduction () =
   in
   check_bool "r5 < r4 gates" true (gates Compiler.Isa.r5 < gates Compiler.Isa.r4)
 
+(* ---------- document model ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let test_fig11_golden () =
+  (* the text renderer must reproduce the pre-document printed output
+     byte for byte (fig11 is deterministic: no wall-clock in its body) *)
+  let doc = Core.Fig11.doc ~cfg:Core.Config.quick () in
+  let expected = read_file "golden/fig11_quick.txt" in
+  Alcotest.(check string) "byte-identical" expected (Core.Report.render_text doc)
+
+let test_json_roundtrip () =
+  (* render -> parse -> re-render must be a fixed point, and the parsed
+     tree must agree with the original *)
+  List.iter
+    (fun name ->
+      let e = Option.get (Core.Registry.find name) in
+      let json =
+        Core.Report.to_json ~name ~description:e.Core.Registry.description
+          ~seconds:1.25 (e.Core.Registry.run Core.Config.quick)
+      in
+      let s = Core.Json.to_string json in
+      let reparsed = Core.Json.of_string s in
+      check_bool (name ^ " tree preserved") true (reparsed = json);
+      Alcotest.(check string) (name ^ " fixed point") s (Core.Json.to_string reparsed))
+    [ "table2"; "fig3"; "fig11" ]
+
+let test_json_escapes () =
+  let j = Core.Json.(Obj [ ("k\"ey", String "a\nb\tc\\ \x01") ]) in
+  check_bool "roundtrip" true (Core.Json.of_string (Core.Json.to_string j) = j)
+
+let test_registry_complete () =
+  Alcotest.(check int) "14 experiments" 14 (List.length Core.Registry.all);
+  check_bool "names unique" true
+    (List.length (List.sort_uniq compare Core.Registry.names)
+    = List.length Core.Registry.names);
+  check_bool "find fig9" true (Option.is_some (Core.Registry.find "fig9"));
+  check_bool "find unknown" true (Option.is_none (Core.Registry.find "fig99"))
+
+(* ---------- parallel evaluation ---------- *)
+
+let test_parallel_map_order () =
+  let xs = List.init 37 Fun.id in
+  Alcotest.(check (list int))
+    "order preserved"
+    (List.map (fun x -> x * x) xs)
+    (Core.Parallel.map ~domains:4 (fun x -> x * x) xs)
+
+let test_parallel_map_seeded_deterministic () =
+  let draw rng _ = Rng.float rng in
+  let one domains =
+    Core.Parallel.map_seeded ~domains ~rng:(Rng.create 7) draw (List.init 16 Fun.id)
+  in
+  Alcotest.(check (list (float 0.0))) "pool size invariant" (one 1) (one 4)
+
+let test_evaluate_suite_pool_invariant () =
+  (* the acceptance criterion: identical result records at pool size 1
+     and N on a small QV suite *)
+  let rng = Rng.create 35 in
+  let cal = Device.Sycamore.line_device 4 in
+  let circuits = Apps.Qv.circuits rng ~count:3 3 in
+  let eval domains =
+    Decompose.Cache.clear ();
+    Core.Study.evaluate_suite ~options:tiny_options ~domains ~cal
+      ~isa:Compiler.Isa.g2 ~metric:Core.Study.Hop circuits
+  in
+  let seq = eval 1 in
+  List.iter
+    (fun domains ->
+      let par = eval domains in
+      check_bool
+        (Printf.sprintf "identical records at %d domains" domains)
+        true (par = seq))
+    [ 2; 4 ]
+
 let test_report_table_shapes () =
   Core.Report.table ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ];
   check_bool "printed" true true
@@ -123,5 +203,20 @@ let () =
           Alcotest.test_case "table" `Quick test_report_table_shapes;
           Alcotest.test_case "bar" `Quick test_report_bar;
           Alcotest.test_case "heat digit" `Quick test_report_heat_digit;
+        ] );
+      ( "document",
+        [
+          Alcotest.test_case "fig11 golden text" `Slow test_fig11_golden;
+          Alcotest.test_case "json roundtrip" `Slow test_json_roundtrip;
+          Alcotest.test_case "json escapes" `Quick test_json_escapes;
+          Alcotest.test_case "registry complete" `Quick test_registry_complete;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_parallel_map_order;
+          Alcotest.test_case "map_seeded deterministic" `Quick
+            test_parallel_map_seeded_deterministic;
+          Alcotest.test_case "evaluate_suite pool invariant" `Slow
+            test_evaluate_suite_pool_invariant;
         ] );
     ]

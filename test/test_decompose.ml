@@ -289,6 +289,26 @@ let test_cache_hit () =
   let _ = Decompose.Cache.fd_curve ~options:fast_options Gates.Gate_type.s2 ~target:u in
   check_int "grows on new type" (size1 + 1) (Decompose.Cache.size ())
 
+let test_cache_stats_concurrent () =
+  (* hammer the cache from the Domain pool: every lookup is counted
+     exactly once, and the table converges to one entry per distinct key *)
+  Decompose.Cache.clear ();
+  let rng = Rng.create 23 in
+  let us = List.init 4 (fun _ -> Qr.haar_special_unitary rng 4) in
+  let lookups =
+    List.concat_map (fun u -> List.init 6 (fun _ -> u)) us
+  in
+  let _ =
+    Concurrent.Domain_pool.map ~domains:4
+      (fun u ->
+        Decompose.Cache.fd_curve ~options:fast_options Gates.Gate_type.s3 ~target:u)
+      lookups
+  in
+  let hits, misses = Decompose.Cache.stats () in
+  check_int "every lookup counted" (List.length lookups) (hits + misses);
+  check_int "one entry per key" (List.length us) (Decompose.Cache.size ());
+  check_bool "at least one hit per key" true (hits >= List.length us)
+
 let test_cache_modes_consistent () =
   Decompose.Cache.clear ();
   let rng = Rng.create 22 in
@@ -438,6 +458,8 @@ let () =
           Alcotest.test_case "curve monotone" `Quick test_fd_curve_monotone;
           Alcotest.test_case "cache hit" `Quick test_cache_hit;
           Alcotest.test_case "cache consistent" `Quick test_cache_modes_consistent;
+          Alcotest.test_case "cache stats concurrent" `Quick
+            test_cache_stats_concurrent;
         ] );
       ( "kak",
         [

@@ -50,9 +50,27 @@ let test_rng_determinism () =
 
 let test_rng_split_independent () =
   let a = Rng.create 5 in
-  let child = Rng.split a in
+  let child = Rng.child a in
   let x = Rng.float child in
   check_bool "in range" true (x >= 0.0 && x < 1.0)
+
+let test_rng_split_reproducible () =
+  (* split is a pure function of (parent state, index): same inputs give
+     the same substream, and the parent stream is not advanced *)
+  let a = Rng.create 5 and b = Rng.create 5 in
+  let s1 = Rng.split a 3 and s2 = Rng.split b 3 in
+  for _ = 1 to 10 do
+    check_float "same substream" (Rng.float s1) (Rng.float s2)
+  done;
+  let _ = Rng.split a 7 in
+  check_float "parent unchanged" (Rng.float a) (Rng.float b)
+
+let test_rng_split_distinct () =
+  (* pairwise distinct substreams across task indices *)
+  let parent = Rng.create 5 in
+  let firsts = List.init 64 (fun i -> Rng.float (Rng.split parent i)) in
+  let sorted = List.sort_uniq compare firsts in
+  check_bool "pairwise distinct" true (List.length sorted = 64)
 
 let test_rng_uniform_bounds () =
   let r = rng () in
@@ -353,6 +371,9 @@ let () =
         [
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
           Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "indexed split reproducible" `Quick
+            test_rng_split_reproducible;
+          Alcotest.test_case "indexed split distinct" `Quick test_rng_split_distinct;
           Alcotest.test_case "uniform bounds" `Quick test_rng_uniform_bounds;
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
           Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;

@@ -133,6 +133,35 @@ let test_multistart_first_start () =
   in
   check_float "uses first_start" 9.0 (List.hd (List.rev !seen))
 
+let test_multistart_parallel_matches_sequential () =
+  (* run_parallel must reproduce run exactly — same best point, value and
+     starts_used — at any pool size, including the early-stop scan *)
+  let run_with domains =
+    let rng = Linalg.Rng.create 11 in
+    let optimize x0 = Optimize.Bfgs.minimize double_well x0 in
+    let value (r : Optimize.Bfgs.result) = r.Optimize.Bfgs.f in
+    match domains with
+    | None ->
+      Optimize.Multistart.run ~rng ~starts:12 ~dim:1 ~lo:(-2.0) ~hi:2.0
+        ~target:1e-9 ~optimize ~value ()
+    | Some domains ->
+      Optimize.Multistart.run_parallel ~domains ~rng ~starts:12 ~dim:1 ~lo:(-2.0)
+        ~hi:2.0 ~target:1e-9 ~optimize ~value ()
+  in
+  let seq = run_with None in
+  List.iter
+    (fun domains ->
+      let par = run_with (Some domains) in
+      check_float "same best_f" seq.Optimize.Multistart.best_f
+        par.Optimize.Multistart.best_f;
+      Alcotest.(check int)
+        "same starts_used" seq.Optimize.Multistart.starts_used
+        par.Optimize.Multistart.starts_used;
+      check_float "same best point"
+        seq.Optimize.Multistart.best.Optimize.Bfgs.x.(0)
+        par.Optimize.Multistart.best.Optimize.Bfgs.x.(0))
+    [ 1; 3; 8 ]
+
 (* qcheck: BFGS never increases the objective *)
 let prop_bfgs_monotone =
   QCheck.Test.make ~count:30 ~name:"bfgs result <= start value"
@@ -170,6 +199,8 @@ let () =
           Alcotest.test_case "escapes local minimum" `Quick test_multistart_escapes_local;
           Alcotest.test_case "early stop" `Quick test_multistart_early_stop;
           Alcotest.test_case "first start honored" `Quick test_multistart_first_start;
+          Alcotest.test_case "parallel matches sequential" `Quick
+            test_multistart_parallel_matches_sequential;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_bfgs_monotone ]);
     ]
