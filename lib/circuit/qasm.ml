@@ -10,7 +10,24 @@
    reports anything else. *)
 
 exception Unsupported_gate of string
-exception Parse_error of string
+
+type error = { line : int; column : int; message : string }
+
+exception Parse_error of error
+
+let error_to_string e = Printf.sprintf "line %d, column %d: %s" e.line e.column e.message
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error e -> Some (Printf.sprintf "Qasm.Parse_error (%s)" (error_to_string e))
+    | _ -> None)
+
+(* Leaf parsers raise [Syntax]; the statement loop catches it (along
+   with any escaping library exception) and rethrows a located
+   [Parse_error].  Import never leaks a generic exception. *)
+exception Syntax of string
+
+let syntax fmt = Printf.ksprintf (fun m -> raise (Syntax m)) fmt
 
 (* Gate definitions for the prelude.  The iSWAP-like interaction
    xxyy(t) = exp(-i t (XX+YY)/2) factors exactly (XX and YY commute):
@@ -147,8 +164,9 @@ let eval_angle expr =
     if a = "pi" then Float.pi
     else if a = "-pi" then -.Float.pi
     else
-      try float_of_string a
-      with Failure _ -> raise (Parse_error (Printf.sprintf "bad angle %S" a))
+      match float_of_string_opt a with
+      | Some v -> v
+      | None -> syntax "bad angle %S" a
   in
   match String.index_opt expr '/' with
   | Some k ->
@@ -172,16 +190,15 @@ let eval_angle expr =
 
 let parse_qubit token =
   let token = strip token in
-  try Scanf.sscanf token "q[%d]" Fun.id
-  with Scanf.Scan_failure _ | Failure _ | End_of_file ->
-    raise (Parse_error (Printf.sprintf "bad qubit %S" token))
+  try Scanf.sscanf token "q[%d]%!" Fun.id
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> syntax "bad qubit %S" token
 
 (* Parse one statement like "fsim(0.1,0.2) q[0], q[1]". *)
 let parse_statement line =
   let line = strip line in
   let head, args =
     match String.index_opt line ' ' with
-    | None -> raise (Parse_error (Printf.sprintf "bad statement %S" line))
+    | None -> syntax "bad statement %S" line
     | Some k ->
       (strip (String.sub line 0 k), strip (String.sub line (k + 1) (String.length line - k - 1)))
   in
@@ -191,8 +208,8 @@ let parse_statement line =
     | Some k ->
       let close =
         match String.rindex_opt head ')' with
-        | Some c -> c
-        | None -> raise (Parse_error (Printf.sprintf "unclosed parens %S" head))
+        | Some c when c > k -> c
+        | _ -> syntax "unclosed parens %S" head
       in
       let inner = String.sub head (k + 1) (close - k - 1) in
       (String.sub head 0 k, List.map eval_angle (String.split_on_char ',' inner))
@@ -217,26 +234,47 @@ let gate_of name params =
   | "xy", [ theta ] -> Gates.Gate.xy theta
   | "xxyy", [ t ] -> Gates.Gate.hopping t
   | "cu1", [ phi ] -> Gates.Gate.cphase (-.phi)
-  | n, ps ->
-    raise
-      (Parse_error (Printf.sprintf "unsupported gate %s/%d" n (List.length ps)))
+  | n, ps -> syntax "unsupported gate %s with %d parameter(s)" n (List.length ps)
+
+(* Run [f], converting [Syntax] and any library exception that a leaf
+   parser or the circuit builder can raise into a located [Parse_error].
+   This is the boundary that keeps garbled input from escaping as a
+   generic exception. *)
+let located ~line ~column f =
+  try f () with
+  | Syntax message | Invalid_argument message | Failure message ->
+    raise (Parse_error { line; column; message })
+  | Scanf.Scan_failure m -> raise (Parse_error { line; column; message = "scan failure: " ^ m })
+  | End_of_file -> raise (Parse_error { line; column; message = "unexpected end of input" })
+
+(* 1-based column of the first non-blank character of [s] at [offset]
+   (itself 0-based) within its line. *)
+let column_at ~offset s =
+  let k = ref 0 in
+  let n = String.length s in
+  while !k < n && (s.[!k] = ' ' || s.[!k] = '\t') do incr k done;
+  offset + !k + 1
 
 let of_string text =
   (* drop the prelude: everything through the gate definitions; we only
      interpret statements after the qreg declaration *)
   let lines = String.split_on_char '\n' text in
-  let n_qubits = ref 0 in
   let in_gate_def = ref false in
-  let instrs = ref [] in
-  List.iter
-    (fun raw ->
-      let line =
+  let circuit = ref None in
+  let last_line = ref 0 in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      last_line := lineno;
+      let code =
         match String.index_opt raw '/' with
         | Some k when k + 1 < String.length raw && raw.[k + 1] = '/' ->
           String.sub raw 0 k
         | _ -> raw
       in
-      let line = strip line in
+      (* column of the first statement on this line, inside the raw text *)
+      let base = column_at ~offset:0 code - 1 in
+      let line = strip code in
       if line = "" || line = "OPENQASM 2.0;" then ()
       else if String.length line >= 7 && String.sub line 0 7 = "include" then ()
       else if String.length line >= 5 && String.sub line 0 5 = "gate " then
@@ -246,22 +284,45 @@ let of_string text =
         if String.contains line '}' then in_gate_def := false
       end
       else if String.length line >= 5 && String.sub line 0 5 = "qreg " then
-        n_qubits := Scanf.sscanf (strip (String.sub line 5 (String.length line - 5))) "q[%d]" Fun.id
+        located ~line:lineno ~column:(base + 1) (fun () ->
+            let decl = strip (String.sub line 5 (String.length line - 5)) in
+            let n =
+              try Scanf.sscanf decl "q[%d];%!" Fun.id
+              with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+                syntax "bad qreg declaration %S" decl
+            in
+            if n <= 0 then syntax "qreg needs at least one qubit, got %d" n;
+            if !circuit <> None then syntax "duplicate qreg declaration";
+            circuit := Some (Circuit.empty n))
       else if String.length line >= 5 && String.sub line 0 5 = "creg " then ()
       else begin
-        (* possibly multiple statements per line *)
+        (* possibly multiple statements per line; track each statement's
+           offset so errors point at the right column *)
+        let offset = ref base in
         List.iter
-          (fun stmt ->
-            let stmt = strip stmt in
-            if stmt <> "" then begin
-              let name, params, qubits = parse_statement stmt in
-              instrs := Instr.make (gate_of name params) qubits :: !instrs
-            end)
+          (fun seg ->
+            let column = column_at ~offset:!offset seg in
+            offset := !offset + String.length seg + 1;
+            let stmt = strip seg in
+            if stmt <> "" then
+              located ~line:lineno ~column (fun () ->
+                  let name, params, qubits = parse_statement stmt in
+                  let instr = Instr.make (gate_of name params) qubits in
+                  match !circuit with
+                  | None -> syntax "statement before qreg declaration"
+                  | Some c -> circuit := Some (Circuit.add c instr)))
           (String.split_on_char ';' line)
       end)
     lines;
-  if !n_qubits = 0 then raise (Parse_error "missing qreg declaration");
-  Circuit.of_instrs !n_qubits (List.rev !instrs)
+  match !circuit with
+  | Some c -> c
+  | None ->
+    raise (Parse_error { line = !last_line; column = 1; message = "missing qreg declaration" })
+
+let of_string_result text =
+  match of_string text with
+  | c -> Ok c
+  | exception Parse_error e -> Error e
 
 let of_file path =
   let ic = open_in path in

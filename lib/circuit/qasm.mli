@@ -5,7 +5,15 @@
     standard QASM toolchains. *)
 
 exception Unsupported_gate of string
-exception Parse_error of string
+
+type error = { line : int; column : int; message : string }
+(** Location of the offending statement ([line] and [column] are
+    1-based, pointing into the input text) plus a human-readable
+    reason. *)
+
+exception Parse_error of error
+
+val error_to_string : error -> string
 
 val prelude : string
 
@@ -17,6 +25,13 @@ val to_file : string -> Circuit.t -> unit
 
 val of_string : string -> Circuit.t
 (** Parses the subset emitted by [to_string] (plus common qelib1
-    single-qubit gates).  Raises [Parse_error] on malformed input. *)
+    single-qubit gates).  Raises [Parse_error] — and only
+    [Parse_error] — on malformed input, however garbled: every leaf
+    failure (bad angle, bad qubit token, out-of-range index, arity
+    mismatch, statement before [qreg], ...) is converted to a located
+    error at the statement that triggered it. *)
+
+val of_string_result : string -> (Circuit.t, error) result
+(** Like [of_string], with the parse error as a value. *)
 
 val of_file : string -> Circuit.t

@@ -4,8 +4,19 @@
    (unitary, gate type) pair — it is independent of hardware error rates,
    so exact decompositions, approximate decompositions at any error rate,
    and noise-adaptive selections across instruction sets all share one
-   cached curve.  Keys are (unitary digest, gate-type name, max-layers).
-   A size cap evicts wholesale; per-experiment working sets are small.
+   cached curve.
+
+   Keys fingerprint EVERYTHING the curve depends on: the unitary digest,
+   the gate-type name, and the full optimizer configuration (layer
+   bounds, multistart count, seed, convergence threshold and every BFGS
+   tolerance).  Two callers sweeping optimizer settings must never alias
+   to one entry — a shared curve would silently corrupt any ablation that
+   compares those settings.
+
+   Eviction at the size cap drops the least-recently-used half of the
+   table (never the whole table): the entries other domains inserted
+   moments ago survive, so an insert can never wipe a concurrent
+   domain's in-flight result and force its next lookup to recompute.
 
    The cache is shared across the Domain pool used by the parallel suite
    evaluator: the table is guarded by a mutex and the hit/miss counters
@@ -16,9 +27,17 @@
 
 open Linalg
 
-let max_entries = 100_000
+let default_capacity = 100_000
 
-let table : (string, (int * float array * float) array) Hashtbl.t = Hashtbl.create 4096
+(* Guarded by [lock], like the table. *)
+let cap = ref default_capacity
+
+type entry = { mutable gen : int; curve : (int * float array * float) array }
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 4096
+
+(* Monotonic access clock for LRU ordering; guarded by [lock]. *)
+let clock = ref 0
 
 let lock = Mutex.create ()
 
@@ -28,18 +47,49 @@ let hits = Atomic.make 0
 let misses = Atomic.make 0
 
 let make_key ~target ~gate_type ~options =
-  Printf.sprintf "%s|%s|%d-%d"
+  let o = options in
+  let b = o.Nuop.bfgs in
+  Printf.sprintf "%s|%s|%d-%d|s%d|r%d|cv%.17g|b%d;%.17g;%.17g;%.17g;%.17g"
     (Digest.to_hex (Mat.digest target))
     (Gates.Gate_type.name gate_type)
-    options.Nuop.min_layers options.Nuop.max_layers
+    o.Nuop.min_layers o.Nuop.max_layers o.Nuop.starts o.Nuop.seed
+    o.Nuop.convergence_fd b.Optimize.Bfgs.max_iter b.Optimize.Bfgs.grad_tol
+    b.Optimize.Bfgs.f_tol b.Optimize.Bfgs.step_tol b.Optimize.Bfgs.fd_step
 
 let with_lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
+(* Drop the least-recently-used entries until only [keep] remain.
+   Called with the lock held. *)
+let evict_lru ~keep =
+  let n = Hashtbl.length table in
+  if n > keep then begin
+    let order = Array.make n ("", 0) in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun key e ->
+        order.(!i) <- (key, e.gen);
+        incr i)
+      table;
+    Array.sort (fun (_, a) (_, b) -> compare a b) order;
+    for k = 0 to n - keep - 1 do
+      Hashtbl.remove table (fst order.(k))
+    done
+  end
+
 let fd_curve ?(options = Nuop.default_options) gate_type ~target =
   let key = make_key ~target ~gate_type ~options in
-  match with_lock (fun () -> Hashtbl.find_opt table key) with
+  let cached =
+    with_lock (fun () ->
+        match Hashtbl.find_opt table key with
+        | Some e ->
+          incr clock;
+          e.gen <- !clock;
+          Some e.curve
+        | None -> None)
+  in
+  match cached with
   | Some curve ->
     Atomic.incr hits;
     curve
@@ -47,8 +97,10 @@ let fd_curve ?(options = Nuop.default_options) gate_type ~target =
     Atomic.incr misses;
     let curve = Nuop.fd_curve ~options gate_type ~target in
     with_lock (fun () ->
-        if Hashtbl.length table >= max_entries then Hashtbl.reset table;
-        Hashtbl.replace table key curve);
+        (* keep the newest half; the fresh entry below is newest of all *)
+        if Hashtbl.length table >= !cap then evict_lru ~keep:(max 1 (!cap / 2));
+        incr clock;
+        Hashtbl.replace table key { gen = !clock; curve });
     curve
 
 let decompose_exact ?(options = Nuop.default_options) ?threshold gate_type ~target =
@@ -58,9 +110,19 @@ let decompose_approx ?(options = Nuop.default_options) ~fh gate_type ~target =
   Nuop.approx_of_curve ~fh gate_type (fd_curve ~options gate_type ~target)
 
 let clear () =
-  with_lock (fun () -> Hashtbl.reset table);
+  with_lock (fun () ->
+      Hashtbl.reset table;
+      clock := 0);
   Atomic.set hits 0;
   Atomic.set misses 0
 
 let size () = with_lock (fun () -> Hashtbl.length table)
 let stats () = (Atomic.get hits, Atomic.get misses)
+
+let capacity () = with_lock (fun () -> !cap)
+
+let set_capacity n =
+  let n = max 2 n in
+  with_lock (fun () ->
+      cap := n;
+      if Hashtbl.length table > n then evict_lru ~keep:(max 1 (n / 2)))

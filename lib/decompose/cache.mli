@@ -1,7 +1,11 @@
 (** Memoized NuOp decompositions.
 
-    Caches the per-layer fidelity curve of each (unitary, gate type)
-    pair; both decomposition modes and all instruction sets share it. *)
+    Caches the per-layer fidelity curve of each (unitary, gate type,
+    optimizer options) triple; both decomposition modes and all
+    instruction sets share it.  The key fingerprints the full
+    {!Nuop.options} record (layer bounds, starts, seed, convergence
+    threshold, BFGS tolerances), so sweeps over optimizer settings never
+    alias to a stale curve. *)
 
 open Linalg
 
@@ -27,3 +31,12 @@ val stats : unit -> int * int
     [clear].  The counters are atomic and the table is mutex-guarded, so
     lookups may run concurrently from the Domain pool; every lookup is
     counted exactly once. *)
+
+val capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Change the entry cap (clamped to at least 2); used by tests and
+    memory tuning.  When the table is over the new cap, the
+    least-recently-used entries are evicted down to half of it —
+    eviction never drops the whole table, so entries touched or
+    inserted recently (including by concurrent domains) survive. *)

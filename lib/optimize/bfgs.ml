@@ -7,9 +7,13 @@
 
 type options = {
   max_iter : int;
-  grad_tol : float;  (** stop when the gradient infinity-norm is below *)
+  grad_tol : float;  (** stop when the gradient norm is below *)
   f_tol : float;  (** stop when the objective drops below (target value) *)
-  step_tol : float;  (** stop when steps stagnate *)
+  step_tol : float;
+      (** stop when steps stagnate: the RELATIVE objective decrease of an
+          accepted step falls below this.  An absolute cutoff here is a
+          bug — it would abort tiny-but-real progress on objectives whose
+          scale is below the cutoff (infidelities near convergence). *)
   fd_step : float;  (** finite-difference step for the gradient *)
 }
 
@@ -109,16 +113,28 @@ let minimize ?(options = default_options) f x0 =
          else slope
        in
        let ls = Line_search.search f_counted x d ~f0:!fx ~slope in
-       evals := !evals + 0;
-       if ls.step <= 0.0 || ls.f_new >= !fx -. options.step_tol then begin
+       if ls.step <= 0.0 || ls.f_new >= !fx then begin
+         (* the line search found no decrease at all *)
          outcome := Stagnated;
          raise Exit
        end;
+       (* Accept the step first — even a tiny improvement is kept — and
+          only then test for stagnation, relative to the objective scale
+          so progress at any magnitude counts (a gradient below grad_tol
+          still exits through the check at the top of the loop). *)
        for i = 0 to n - 1 do
          s.(i) <- ls.step *. d.(i);
          x.(i) <- x.(i) +. s.(i)
        done;
+       let f_prev = !fx in
        fx := ls.f_new;
+       if
+         f_prev -. ls.f_new
+         <= options.step_tol *. (Float.abs f_prev +. Float.abs ls.f_new +. epsilon_float)
+       then begin
+         outcome := Stagnated;
+         raise Exit
+       end;
        let g_new = Grad.central ~h:options.fd_step f_counted x in
        for i = 0 to n - 1 do
          y.(i) <- g_new.(i) -. !g.(i)

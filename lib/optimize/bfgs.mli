@@ -7,7 +7,9 @@ type options = {
   max_iter : int;
   grad_tol : float;  (** stop when ||grad||_2 falls below this *)
   f_tol : float;  (** stop as soon as the objective drops below this *)
-  step_tol : float;  (** stop when steps stop making progress *)
+  step_tol : float;
+      (** stop when steps stagnate: relative objective decrease of an
+          accepted step below this (the improving step itself is kept) *)
   fd_step : float;  (** finite-difference step for gradients *)
 }
 

@@ -1,0 +1,464 @@
+(* Differential-oracle catalogue.
+
+   Every property here checks one layer of the stack against an
+   INDEPENDENT reference — a schoolbook formula, an invariance law, a
+   different algorithm for the same object, or a round trip — rather
+   than against the layer's own output.  A bug injected into Mat, Weyl,
+   Nuop, the simulators or the serializers breaks the agreement and
+   surfaces as a shrunk, seed-replayable Proptest counterexample.
+
+   Case counts are deliberately small (CI runs the whole catalogue on
+   every build); NUOP_PROPTEST_COUNT scales them up for soak runs. *)
+
+open Linalg
+module G = Proptest.Gen
+
+let test = Proptest.test
+let arb = Proptest.arbitrary
+
+(* ---------- generators and printers ---------- *)
+
+let complex_entry rng =
+  { Complex.re = Rng.uniform rng (-1.0) 1.0; im = Rng.uniform rng (-1.0) 1.0 }
+
+let random_mat n rng = Mat.init n n (fun _ _ -> complex_entry rng)
+let pm = Mat.to_string
+let pm2 (a, b) = Printf.sprintf "A =\n%s\nB =\n%s" (pm a) (pm b)
+
+(* a random square pair of matching dimension *)
+let mat_pair = G.bind (G.int_range 2 5) (fun n -> G.pair (random_mat n) (random_mat n))
+
+(* (u, u dressed with single-qubit gates on both sides) *)
+let dressed rng =
+  let u = G.su4 rng in
+  let a = G.su2 rng and b = G.su2 rng in
+  let c = G.su2 rng and d = G.su2 rng in
+  (u, Mat.mul (Mat.kron a b) (Mat.mul u (Mat.kron c d)))
+
+let close ?(eps = 1e-9) x y = Float.abs (x -. y) <= eps
+
+(* ---------- Mat: algebra against schoolbook references ---------- *)
+
+(* the definition of the product, with none of mul's loop blocking *)
+let mul_reference a b =
+  Mat.init (Mat.rows a) (Mat.cols b) (fun i j ->
+      let acc = ref Complex.zero in
+      for l = 0 to Mat.cols a - 1 do
+        acc := Complex.add !acc (Complex.mul (Mat.get a i l) (Mat.get b l j))
+      done;
+      !acc)
+
+let mat =
+  [
+    test "mul matches the schoolbook product" ~count:25
+      (arb ~print:pm2 mat_pair)
+      (fun (a, b) -> Mat.equal ~eps:1e-10 (Mat.mul a b) (mul_reference a b));
+    test "mul_into agrees with mul" ~count:25
+      (arb ~print:pm2 mat_pair)
+      (fun (a, b) ->
+        let dst = Mat.create (Mat.rows a) (Mat.cols b) in
+        Mat.mul_into ~dst a b;
+        Mat.equal ~eps:0.0 dst (Mat.mul a b));
+    test "hs_inner is trace(A^dag B)" ~count:25
+      (arb ~print:pm2 mat_pair)
+      (fun (a, b) ->
+        Complex.norm
+          (Complex.sub (Mat.hs_inner a b) (Mat.trace (Mat.mul (Mat.dagger a) b)))
+        < 1e-10);
+    test "dagger is an involution" ~count:25
+      (arb ~print:pm (random_mat 4))
+      (fun a -> Mat.equal ~eps:0.0 (Mat.dagger (Mat.dagger a)) a);
+    test "kron mixed-product identity" ~count:20
+      (arb
+         ~print:(fun (a, b, (c, d)) ->
+           Printf.sprintf "%s%s%s%s" (pm a) (pm b) (pm c) (pm d))
+         (G.triple (random_mat 2) (random_mat 2) (G.pair (random_mat 2) (random_mat 2))))
+      (fun (a, b, (c, d)) ->
+        Mat.equal ~eps:1e-10
+          (Mat.mul (Mat.kron a b) (Mat.kron c d))
+          (Mat.kron (Mat.mul a c) (Mat.mul b d)));
+    test "det is multiplicative" ~count:20
+      (arb ~print:pm2 (G.pair (random_mat 3) (random_mat 3)))
+      (fun (a, b) ->
+        Complex.norm
+          (Complex.sub (Mat.det (Mat.mul a b)) (Complex.mul (Mat.det a) (Mat.det b)))
+        < 1e-8);
+    test "solve round-trips" ~count:20
+      (arb ~print:pm2 (G.pair (G.unitary 4) (random_mat 4)))
+      (fun (u, b) -> Mat.equal ~eps:1e-8 (Mat.mul u (Mat.solve u b)) b);
+    test "haar samples are unitary, su4 has det 1" ~count:20
+      (arb ~print:pm G.su4)
+      (fun u ->
+        Mat.is_unitary ~eps:1e-8 u
+        && Complex.norm (Complex.sub (Mat.det u) Complex.one) < 1e-8);
+    test "product and kron of unitaries stay unitary" ~count:20
+      (arb ~print:pm2 (G.pair (G.unitary 2) (G.unitary 2)))
+      (fun (a, b) ->
+        Mat.is_unitary ~eps:1e-7 (Mat.mul a b) && Mat.is_unitary ~eps:1e-7 (Mat.kron a b));
+    test "frobenius norm is unitarily invariant" ~count:20
+      (arb ~print:pm2 (G.pair (G.unitary 3) (random_mat 3)))
+      (fun (u, a) ->
+        close ~eps:1e-8 (Mat.frobenius_norm (Mat.mul u a)) (Mat.frobenius_norm a));
+    test "unitary eigenvalues lie on the unit circle" ~count:15
+      (arb ~print:pm (G.unitary 4))
+      (fun u ->
+        Array.for_all
+          (fun e -> Float.abs (Complex.norm e -. 1.0) < 1e-5)
+          (Eigen.eigenvalues u));
+  ]
+
+(* ---------- Weyl: canonicalization invariants ---------- *)
+
+let coords3 u =
+  let c1, c2, c3 = Decompose.Weyl.coordinates u in
+  (c1, c2, Float.abs c3)
+
+let weyl =
+  [
+    test "coordinates are canonically ordered" ~count:12
+      (arb ~print:pm G.su4)
+      (fun u ->
+        let c1, c2, c3 = Decompose.Weyl.coordinates u in
+        c1 >= c2 -. 1e-9
+        && c2 >= Float.abs c3 -. 1e-9
+        && c1 <= (Float.pi /. 2.0) +. 1e-9);
+    test "canonical gate represents the class" ~count:8
+      (arb ~print:pm G.su4)
+      (fun u ->
+        let c1, c2, c3 = Decompose.Weyl.coordinates u in
+        Decompose.Weyl.locally_equivalent u (Decompose.Weyl.canonical_gate c1 c2 c3));
+    test "coordinates survive local dressing" ~count:8
+      (arb ~print:(fun (u, v) -> pm2 (u, v)) dressed)
+      (fun (u, v) ->
+        let a1, a2, a3 = coords3 u and b1, b2, b3 = coords3 v in
+        close ~eps:1e-6 a1 b1 && close ~eps:1e-6 a2 b2 && close ~eps:1e-6 a3 b3);
+    test "cnot_count is in 0..3 and dressing-invariant" ~count:8
+      (arb ~print:(fun (u, v) -> pm2 (u, v)) dressed)
+      (fun (u, v) ->
+        let ku = Decompose.Weyl.cnot_count u in
+        ku >= 0 && ku <= 3 && ku = Decompose.Weyl.cnot_count v);
+    test "local unitaries need zero CNOTs" ~count:10
+      (arb ~print:pm G.local_su4)
+      (fun u -> Decompose.Weyl.is_local u && Decompose.Weyl.cnot_count u = 0);
+  ]
+
+(* ---------- Optimize: BFGS on known-convex objectives ---------- *)
+
+type quadratic = { a : float array; c : float array; x0 : float array }
+
+let quadratic_gen rng =
+  let n = 2 + Rng.int rng 4 in
+  {
+    a = Array.init n (fun _ -> Rng.uniform rng 0.5 3.0);
+    c = Array.init n (fun _ -> Rng.uniform rng (-2.0) 2.0);
+    x0 = Array.init n (fun _ -> Rng.uniform rng (-3.0) 3.0);
+  }
+
+let quadratic_f q x =
+  let acc = ref 0.0 in
+  Array.iteri (fun i ai -> acc := !acc +. (ai *. (x.(i) -. q.c.(i)) ** 2.0)) q.a;
+  !acc
+
+let print_quadratic q =
+  let arr v =
+    String.concat ";" (Array.to_list (Array.map (Printf.sprintf "%.6g") v))
+  in
+  Printf.sprintf "a=[%s] c=[%s] x0=[%s]" (arr q.a) (arr q.c) (arr q.x0)
+
+let optimize =
+  [
+    (* the stagnation-exit regression: an absolute f-decrease cutoff
+       aborts these runs at objective values ~1e-12 with the gradient
+       still orders of magnitude above grad_tol *)
+    test "bfgs reaches grad_tol on convex quadratics" ~count:25
+      (arb ~print:print_quadratic quadratic_gen)
+      (fun q ->
+        let r = Optimize.Bfgs.minimize (quadratic_f q) q.x0 in
+        r.Optimize.Bfgs.outcome = Optimize.Bfgs.Converged
+        && r.Optimize.Bfgs.f < 1e-10
+        && Array.for_all2 (fun xi ci -> Float.abs (xi -. ci) < 1e-4) r.Optimize.Bfgs.x q.c);
+    test "bfgs never increases the objective" ~count:25
+      (arb ~print:print_quadratic quadratic_gen)
+      (fun q ->
+        let r = Optimize.Bfgs.minimize (quadratic_f q) q.x0 in
+        r.Optimize.Bfgs.f <= quadratic_f q q.x0 +. 1e-12);
+  ]
+
+(* ---------- Decompose: NuOp vs KAK vs the Cirq-like baseline ---------- *)
+
+let fast_nuop =
+  {
+    Decompose.Nuop.default_options with
+    starts = 3;
+    max_layers = 3;
+    bfgs = { Optimize.Bfgs.default_options with max_iter = 100 };
+  }
+
+(* F_d recomputed from scratch: the unitary the parameters implement
+   against the target, through hs_inner *)
+let fidelity_of u target = Complex.norm (Mat.hs_inner u target) /. 4.0
+
+let decompose =
+  [
+    test "kak reconstructs the target" ~count:5
+      (arb ~print:pm G.su4)
+      (fun u ->
+        let k = Decompose.Kak.decompose u in
+        Mat.equal_up_to_phase ~eps:1e-5 (Decompose.Kak.reconstruct k) u);
+    test "nuop curve fidelities match the implemented unitary" ~count:3
+      (arb
+         ~print:(fun (gt, u) -> Gates.Gate_type.name gt ^ " on\n" ^ pm u)
+         (G.pair G.fixed_gate_type G.su4))
+      (fun (gate_type, target) ->
+        let curve = Decompose.Nuop.fd_curve ~options:fast_nuop gate_type ~target in
+        Array.for_all
+          (fun (layers, params, fd) ->
+            let d = { Decompose.Nuop.gate_type; layers; params; fd; fh = 1.0 } in
+            let recomputed =
+              fidelity_of (Decompose.Nuop.implemented_unitary d) target
+            in
+            fd >= -1e-9 && fd <= 1.0 +. 1e-9 && close ~eps:1e-6 fd recomputed)
+          curve);
+    test "nuop never beats the SBM lower bound" ~count:4
+      (arb ~print:pm G.su4)
+      (fun u ->
+        let bound = Decompose.Weyl.cnot_count u in
+        let d =
+          Decompose.Nuop.decompose_exact ~options:fast_nuop ~threshold:(1.0 -. 1e-7)
+            Gates.Gate_type.s3 ~target:u
+        in
+        (* only trust the comparison when the optimizer converged *)
+        d.Decompose.Nuop.fd < 1.0 -. 1e-7 || d.Decompose.Nuop.layers >= bound);
+    test "cirq-like CZ count equals the weyl bound" ~count:6
+      (arb ~print:pm G.su4)
+      (fun u ->
+        match Decompose.Cirq_like.decompose ~target_gate:Gates.Gate_type.s3 u with
+        | None -> false
+        | Some r ->
+          r.Decompose.Cirq_like.gate_count = Decompose.Weyl.cnot_count u
+          && r.Decompose.Cirq_like.decomposition_error <= Decompose.Cirq_like.kak_error);
+    (* differential agreement on one-gate-expressible targets: weyl,
+       the cirq baseline and nuop must all certify a single layer *)
+    test "one-CZ targets: weyl, cirq and nuop agree" ~count:3
+      (arb ~print:pm
+         (fun rng ->
+           let cz = Gates.Gate_type.instantiate Gates.Gate_type.s3 [||] in
+           let a = G.su2 rng and b = G.su2 rng in
+           let c = G.su2 rng and d = G.su2 rng in
+           Mat.mul (Mat.kron a b) (Mat.mul cz (Mat.kron c d))))
+      (fun u ->
+        Decompose.Weyl.cnot_count u = 1
+        && (match Decompose.Cirq_like.decompose ~target_gate:Gates.Gate_type.s3 u with
+           | Some r -> r.Decompose.Cirq_like.gate_count = 1
+           | None -> false)
+        &&
+        let d =
+          Decompose.Nuop.decompose_exact
+            ~options:{ fast_nuop with starts = 4 }
+            ~threshold:(1.0 -. 1e-5) Gates.Gate_type.s3 ~target:u
+        in
+        d.Decompose.Nuop.layers = 1 && d.Decompose.Nuop.fd >= 1.0 -. 1e-5);
+    test "template evaluation is unitary" ~count:15
+      (arb
+         ~print:(fun (layers, _) -> Printf.sprintf "%d layers" layers)
+         (G.pair (G.int_range 0 3) (G.array_of ~len:(G.return 64) G.angle)))
+      (fun (layers, angles) ->
+        let t = Decompose.Template.create Gates.Gate_type.s1 ~layers in
+        let params =
+          Array.init (Decompose.Template.param_count t) (fun i -> angles.(i))
+        in
+        Mat.is_unitary ~eps:1e-8 (Decompose.Template.evaluate t params));
+  ]
+
+(* ---------- Sim: three simulators, one answer ---------- *)
+
+let linf a b =
+  let m = ref 0.0 in
+  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.(i)))) a;
+  !m
+
+let noise ~twoq ~oneq =
+  {
+    Sim.Noisy.twoq_error = (fun _ _ -> twoq);
+    oneq_error = (fun _ -> oneq);
+    readout_error = (fun _ -> 0.0);
+    t1 = (fun _ -> infinity);
+    t2 = (fun _ -> infinity);
+    duration_1q = 0.0;
+    duration_2q = 0.0;
+  }
+
+let circuit_arb ?(n_qubits = 3) ?(max_length = 12) () =
+  arb ~shrink:Proptest.Shrink.circuit ~print:Qcir.Circuit.to_string
+    (G.circuit ~n_qubits ~max_length ())
+
+let sim =
+  [
+    test "state and density agree on ideal circuits" ~count:10
+      (circuit_arb ())
+      (fun c ->
+        linf
+          (Sim.State.probabilities (Sim.State.run_circuit c))
+          (Sim.Density.probabilities (Sim.Density.run_circuit c))
+        < 1e-9);
+    test "of_statevector preserves the state" ~count:10
+      (circuit_arb ())
+      (fun c ->
+        let s = Sim.State.run_circuit c in
+        let rho = Sim.Density.of_statevector s in
+        close ~eps:1e-9 1.0 (Sim.Density.purity rho)
+        && linf (Sim.State.probabilities s) (Sim.Density.probabilities rho) < 1e-9);
+    test "zero-noise trajectory is the pure state" ~count:6
+      (circuit_arb ())
+      (fun c ->
+        let traj = Sim.Trajectory.run_one (Rng.create 1) Sim.Noisy.ideal c in
+        close ~eps:1e-9 1.0 (Sim.State.fidelity_pure traj (Sim.State.run_circuit c)));
+    test "density and trajectory agree on noisy circuits" ~count:2
+      (circuit_arb ~n_qubits:2 ~max_length:6 ())
+      (fun c ->
+        let model = noise ~twoq:0.15 ~oneq:0.01 in
+        let exact = Sim.Density.probabilities (Sim.Noisy.run model c) in
+        let mc =
+          Sim.Trajectory.mean_probabilities ~seed:3 ~trajectories:2000 model c
+        in
+        linf exact mc < 0.05);
+  ]
+
+(* ---------- Roundtrip: serializers against themselves ---------- *)
+
+let base_name name =
+  match String.index_opt name '(' with Some k -> String.sub name 0 k | None -> name
+
+let same_circuit a b =
+  Qcir.Circuit.n_qubits a = Qcir.Circuit.n_qubits b
+  && Qcir.Circuit.length a = Qcir.Circuit.length b
+  && List.for_all2
+       (fun ia ib ->
+         let ga = Qcir.Instr.gate ia and gb = Qcir.Instr.gate ib in
+         let pa = Gates.Gate.params ga and pb = Gates.Gate.params gb in
+         base_name (Gates.Gate.name ga) = base_name (Gates.Gate.name gb)
+         && Qcir.Instr.qubits ia = Qcir.Instr.qubits ib
+         && Array.length pa = Array.length pb
+         && Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-9) pa pb)
+       (Qcir.Circuit.instrs a) (Qcir.Circuit.instrs b)
+
+(* QASM text of a random circuit, put through 1-3 random mutations:
+   truncation, deletion, insertion, or replacement *)
+let garbled_qasm rng =
+  let text = ref (Qcir.Qasm.to_string (G.circuit () rng)) in
+  let mutations = 1 + Rng.int rng 3 in
+  for _ = 1 to mutations do
+    let t = !text in
+    let n = String.length t in
+    if n > 0 then
+      text :=
+        (match Rng.int rng 4 with
+        | 0 -> String.sub t 0 (Rng.int rng n)
+        | 1 ->
+          let i = Rng.int rng n in
+          String.sub t 0 i ^ String.sub t (i + 1) (n - i - 1)
+        | 2 ->
+          let i = Rng.int rng (n + 1) in
+          let c = Char.chr (32 + Rng.int rng 95) in
+          String.sub t 0 i ^ String.make 1 c ^ String.sub t i (n - i)
+        | _ ->
+          let i = Rng.int rng n in
+          let c = Char.chr (32 + Rng.int rng 95) in
+          String.sub t 0 i ^ String.make 1 c ^ String.sub t (i + 1) (n - i - 1))
+  done;
+  !text
+
+let json_leaf rng =
+  match Rng.int rng 5 with
+  | 0 -> Core.Json.Null
+  | 1 -> Core.Json.Bool (Rng.bool rng)
+  | 2 -> Core.Json.Int (Rng.int rng 2_000_001 - 1_000_000)
+  | 3 -> Core.Json.Float (Rng.uniform rng (-1e6) 1e6 *. Float.exp (Rng.uniform rng (-20.0) 5.0))
+  | _ ->
+    Core.Json.String
+      (String.init (Rng.int rng 12) (fun _ -> Char.chr (32 + Rng.int rng 95)))
+
+let rec json_gen depth rng =
+  if depth = 0 || Rng.int rng 3 = 0 then json_leaf rng
+  else
+    match Rng.bool rng with
+    | true -> Core.Json.List (List.init (Rng.int rng 4) (fun _ -> json_gen (depth - 1) rng))
+    | false ->
+      Core.Json.Obj
+        (List.init (Rng.int rng 4) (fun i ->
+             (Printf.sprintf "k%d" i, json_gen (depth - 1) rng)))
+
+let report_gen rng =
+  let b = Core.Report.Builder.create () in
+  Core.Report.Builder.heading b "generated";
+  Core.Report.Builder.table b
+    ~header:[ "x"; "y" ]
+    (List.init (Rng.int rng 4) (fun i ->
+         [ string_of_int i; Core.Report.f3 (Rng.uniform rng (-10.0) 10.0) ]));
+  Core.Report.Builder.series b ~name:"curve"
+    (List.init
+       (1 + Rng.int rng 5)
+       (fun i -> (float_of_int i, Rng.uniform rng 0.0 1.0)));
+  Core.Report.Builder.metric b "score" (Rng.uniform rng 0.0 1.0);
+  Core.Report.Builder.doc b
+
+let roundtrip =
+  [
+    test "qasm round-trips circuits" ~count:30 (circuit_arb ~n_qubits:4 ())
+      (fun c -> same_circuit c (Qcir.Qasm.of_string (Qcir.Qasm.to_string c)));
+    test "garbled qasm never crashes generically" ~count:60
+      (arb ~print:(Printf.sprintf "%S") garbled_qasm)
+      (fun text ->
+        match Qcir.Qasm.of_string_result text with
+        | Ok _ -> true
+        | Error e -> e.Qcir.Qasm.line >= 1 && e.Qcir.Qasm.column >= 1);
+    test "json trees round-trip" ~count:40
+      (arb
+         ~print:(fun j -> Core.Json.to_string j)
+         (json_gen 3))
+      (fun j -> Core.Json.of_string (Core.Json.to_string j) = j);
+    test "report documents round-trip through json" ~count:10
+      (arb
+         ~print:(fun doc -> Core.Json.to_string (Core.Report.to_json doc))
+         report_gen)
+      (fun doc ->
+        let j = Core.Report.to_json ~name:"prop" ~seconds:0.0 doc in
+        Core.Json.of_string (Core.Json.to_string j) = j);
+  ]
+
+(* ---------- Compiler: pass stack vs retained monolith ---------- *)
+
+let same_compiled (a : Compiler.Pipeline.compiled) (b : Compiler.Pipeline.compiled) =
+  let open Compiler.Pipeline in
+  same_circuit a.circuit b.circuit
+  && a.twoq_errors = b.twoq_errors
+  && a.qubit_map = b.qubit_map
+  && a.final_layout = b.final_layout
+  && a.swap_count = b.swap_count
+  && a.twoq_count = b.twoq_count
+
+let compiler =
+  [
+    test "pass stack matches the reference compiler" ~count:2
+      (circuit_arb ~n_qubits:3 ~max_length:8 ())
+      (fun circuit ->
+        let options =
+          { Compiler.Pipeline.default_options with nuop = fast_nuop }
+        in
+        let cal = Device.Sycamore.line_device 4 in
+        let isa = Compiler.Isa.g2 in
+        let a = Compiler.Pipeline.compile ~options ~cal ~isa circuit in
+        let b = Compiler.Pipeline.compile_reference ~options ~cal ~isa circuit in
+        same_compiled a b);
+  ]
+
+let all =
+  [
+    ("mat", mat);
+    ("weyl", weyl);
+    ("optimize", optimize);
+    ("decompose", decompose);
+    ("sim", sim);
+    ("roundtrip", roundtrip);
+    ("compiler", compiler);
+  ]

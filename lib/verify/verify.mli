@@ -1,0 +1,50 @@
+(** Differential-oracle catalogue for the property suite.
+
+    Each group is a list of named {!Proptest} checks that pin one layer
+    of the stack against an independent reference: matrix algebra
+    against schoolbook definitions, Weyl-chamber canonicalization
+    against its invariance laws, NuOp against KAK and the Cirq-like
+    baseline on expressible targets, the three simulators against each
+    other on the same circuits, and the serializers against their own
+    round trips.
+
+    The thunks raise {!Proptest.Failed} with a shrunk, seed-replayable
+    counterexample; [test/test_properties.ml] runs the whole catalogue
+    under alcotest.  Case counts are bounded for CI and can be cranked
+    up with [NUOP_PROPTEST_COUNT] (see {!Proptest}). *)
+
+val mat : (string * (unit -> unit)) list
+(** Algebraic laws of {!Linalg.Mat}: [mul] vs the schoolbook triple
+    loop, [mul_into] vs [mul], [hs_inner] vs [trace(A^dag B)], kron
+    mixed product, multiplicative determinants, [solve] round trips,
+    Haar-sample unitarity. *)
+
+val weyl : (string * (unit -> unit)) list
+(** Weyl-chamber canonicalization: canonical ordering of coordinates,
+    local equivalence of the canonical representative, invariance of
+    coordinates and CNOT counts under single-qubit dressing. *)
+
+val optimize : (string * (unit -> unit)) list
+(** BFGS reaches [grad_tol] on random convex quadratics (the
+    stagnation-exit regression) and never increases the objective. *)
+
+val decompose : (string * (unit -> unit)) list
+(** NuOp vs KAK vs the Cirq-like baseline: reconstruction, fidelity
+    recomputed from the implemented unitary, the SBM lower bound, and
+    agreement on single-gate-expressible targets. *)
+
+val sim : (string * (unit -> unit)) list
+(** State-vector vs density vs trajectory simulators on the same ideal
+    and noisy circuits. *)
+
+val roundtrip : (string * (unit -> unit)) list
+(** QASM and JSON serialization: round trips on generated values, and
+    garbled QASM always yielding a located parse error instead of a
+    generic crash. *)
+
+val compiler : (string * (unit -> unit)) list
+(** The default pass stack reproduces [compile_reference] bit for bit
+    on random circuits. *)
+
+val all : (string * (string * (unit -> unit)) list) list
+(** Every group above, keyed by name, in dependency order. *)

@@ -105,82 +105,18 @@ let test_printer_renders_all_qubits () =
   let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
   check_int "3 lines" 3 (List.length lines)
 
-(* qcheck: OpenQASM 2.0 export/parse round-trip reproduces the
-   instruction list over the Table II gate vocabulary — base gate names,
-   qubit indices and parameters (to the %.12g printing precision) *)
-let prop_qasm_roundtrip =
-  QCheck.Test.make ~count:50 ~name:"qasm round-trip"
-    QCheck.(int_bound 1_000_000)
-    (fun seed ->
-      let rng = Linalg.Rng.create seed in
-      let n = 4 in
-      let angle () = Linalg.Rng.uniform rng (-3.0) 3.0 in
-      let oneq_pool =
-        [|
-          (fun () -> Gates.Gate.h);
-          (fun () -> Gates.Gate.x);
-          (fun () -> Gates.Gate.rx (angle ()));
-          (fun () -> Gates.Gate.rz (angle ()));
-          (fun () -> Gates.Gate.u3 (angle ()) (angle ()) (angle ()));
-        |]
-      in
-      (* zz / hop are deliberately absent: they export as their CX / xxyy
-         expansions, not under their own names *)
-      let twoq_pool =
-        [|
-          (fun () -> Gates.Gate.cz);
-          (fun () -> Gates.Gate.swap);
-          (fun () -> Gates.Gate.make "SYC" Gates.Twoq.syc);
-          (fun () -> Gates.Gate.make "iSWAP" Gates.Twoq.iswap);
-          (fun () -> Gates.Gate.make "sqrt_iSWAP" Gates.Twoq.sqrt_iswap);
-          (fun () -> Gates.Gate.fsim (angle ()) (angle ()));
-          (fun () -> Gates.Gate.xy (angle ()));
-          (fun () -> Gates.Gate.cphase (angle ()));
-        |]
-      in
-      let circuit = ref (Qcir.Circuit.empty n) in
-      for _ = 1 to 12 do
-        if Linalg.Rng.bool rng then
-          circuit :=
-            Qcir.Circuit.add_gate !circuit
-              ((Linalg.Rng.pick rng oneq_pool) ())
-              [| Linalg.Rng.int rng n |]
-        else begin
-          let a = Linalg.Rng.int rng n in
-          let b = (a + 1 + Linalg.Rng.int rng (n - 1)) mod n in
-          circuit :=
-            Qcir.Circuit.add_gate !circuit ((Linalg.Rng.pick rng twoq_pool) ()) [| a; b |]
-        end
-      done;
-      let c = !circuit in
-      let parsed = Qcir.Qasm.of_string (Qcir.Qasm.to_string c) in
-      let base name =
-        match String.index_opt name '(' with
-        | Some k -> String.sub name 0 k
-        | None -> name
-      in
-      Qcir.Circuit.n_qubits parsed = n
-      && Qcir.Circuit.length parsed = Qcir.Circuit.length c
-      && List.for_all2
-           (fun ia ib ->
-             let ga = Qcir.Instr.gate ia and gb = Qcir.Instr.gate ib in
-             let pa = Gates.Gate.params ga and pb = Gates.Gate.params gb in
-             base (Gates.Gate.name ga) = base (Gates.Gate.name gb)
-             && Qcir.Instr.qubits ia = Qcir.Instr.qubits ib
-             && Array.length pa = Array.length pb
-             && Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-9) pa pb)
-           (Qcir.Circuit.instrs c)
-           (Qcir.Circuit.instrs parsed))
-
-(* qcheck: depth is at most length and at least 2q-depth *)
-let prop_depth_bounds =
-  QCheck.Test.make ~count:30 ~name:"depth bounds" QCheck.(int_range 0 10000) (fun seed ->
-      let rng = Linalg.Rng.create seed in
-      let c = Apps.Qv.circuit rng 4 in
+(* The QASM round-trip property moved to the Verify catalogue
+   (test_properties.ml), where it runs with shrinking.  Depth bounds
+   stay here, migrated from qcheck onto the Proptest framework. *)
+let test_depth_bounds_property () =
+  Proptest.check ~count:30 ~name:"depth bounds"
+    (Proptest.arbitrary ~shrink:Proptest.Shrink.circuit ~print:Qcir.Circuit.to_string
+       (Proptest.Gen.circuit ~n_qubits:4 ~max_length:16 ()))
+    (fun c ->
       let d = Qcir.Circuit.depth c in
       d <= Qcir.Circuit.length c
       && Qcir.Circuit.two_qubit_depth c <= d
-      && d >= 1)
+      && (Qcir.Circuit.length c = 0 || d >= 1))
 
 let () =
   Alcotest.run "circuit"
@@ -208,6 +144,5 @@ let () =
           Alcotest.test_case "render" `Quick test_printer_renders_all_qubits;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
-          [ prop_depth_bounds; prop_qasm_roundtrip ] );
+        [ Alcotest.test_case "depth bounds" `Quick test_depth_bounds_property ] );
     ]

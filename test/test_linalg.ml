@@ -323,40 +323,6 @@ let test_eigenvector () =
   let lv = Mat.scale lambda v in
   check_bool "u v = lambda v" true (Mat.equal ~eps:1e-5 uv lv)
 
-(* ---------- qcheck properties ---------- *)
-
-let qcheck_seeded_mat name prop =
-  QCheck.Test.make ~count:30 ~name QCheck.(int_range 0 100000) (fun seed ->
-      let r = Rng.create seed in
-      prop r)
-
-let prop_kron_unitary =
-  qcheck_seeded_mat "kron of unitaries is unitary" (fun r ->
-      let a = Qr.haar_unitary r 2 and b = Qr.haar_unitary r 2 in
-      Mat.is_unitary ~eps:1e-7 (Mat.kron a b))
-
-let prop_mul_unitary =
-  qcheck_seeded_mat "product of unitaries is unitary" (fun r ->
-      let a = Qr.haar_unitary r 4 and b = Qr.haar_unitary r 4 in
-      Mat.is_unitary ~eps:1e-7 (Mat.mul a b))
-
-let prop_dagger_involution =
-  qcheck_seeded_mat "dagger is an involution" (fun r ->
-      let a = random_mat r 4 in
-      Mat.equal ~eps:1e-12 (Mat.dagger (Mat.dagger a)) a)
-
-let prop_frobenius_unitary_invariant =
-  qcheck_seeded_mat "frobenius norm is unitarily invariant" (fun r ->
-      let a = random_mat r 3 and u = Qr.haar_unitary r 3 in
-      Float.abs (Mat.frobenius_norm (Mat.mul u a) -. Mat.frobenius_norm a) < 1e-8)
-
-let prop_eigen_unit_circle =
-  qcheck_seeded_mat "unitary eigenvalues on unit circle" (fun r ->
-      let u = Qr.haar_unitary r 4 in
-      Array.for_all
-        (fun e -> Float.abs (Cplx.norm e -. 1.0) < 1e-5)
-        (Eigen.eigenvalues u))
-
 let () =
   Alcotest.run "linalg"
     [
@@ -416,13 +382,4 @@ let () =
           Alcotest.test_case "hessenberg" `Quick test_hessenberg_similarity;
           Alcotest.test_case "eigenvector" `Quick test_eigenvector;
         ] );
-      ( "properties",
-        List.map QCheck_alcotest.to_alcotest
-          [
-            prop_kron_unitary;
-            prop_mul_unitary;
-            prop_dagger_involution;
-            prop_frobenius_unitary_invariant;
-            prop_eigen_unit_circle;
-          ] );
     ]

@@ -162,15 +162,9 @@ let test_multistart_parallel_matches_sequential () =
         par.Optimize.Multistart.best.Optimize.Bfgs.x.(0))
     [ 1; 3; 8 ]
 
-(* qcheck: BFGS never increases the objective *)
-let prop_bfgs_monotone =
-  QCheck.Test.make ~count:30 ~name:"bfgs result <= start value"
-    QCheck.(triple (float_range (-5.0) 5.0) (float_range (-5.0) 5.0) (float_range (-5.0) 5.0))
-    (fun (a, b, c) ->
-      let x0 = [| a; b; c |] in
-      let r = Optimize.Bfgs.minimize quadratic x0 in
-      r.Optimize.Bfgs.f <= quadratic x0 +. 1e-12)
-
+(* randomized BFGS properties now live in the Verify catalogue
+   (test_properties.ml): convergence to grad_tol on convex quadratics
+   and monotone objective decrease *)
 let () =
   Alcotest.run "optimize"
     [
@@ -202,5 +196,4 @@ let () =
           Alcotest.test_case "parallel matches sequential" `Quick
             test_multistart_parallel_matches_sequential;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_bfgs_monotone ]);
     ]

@@ -1,0 +1,11 @@
+(* The property suite: every differential oracle in Verify, run under
+   alcotest.  A failure raises Proptest.Failed with the shrunk
+   counterexample and a NUOP_PROPTEST_SEED replay line. *)
+
+let () =
+  Alcotest.run "properties"
+    (List.map
+       (fun (group, cases) ->
+         ( group,
+           List.map (fun (name, thunk) -> Alcotest.test_case name `Quick thunk) cases ))
+       Verify.all)
