@@ -6,7 +6,8 @@
      study        run a benchmark suite against an instruction set
      compile      compile one benchmark through the pass manager (--trace-passes)
      calibration  print the Sec IX calibration cost model
-     experiment   run one of the paper's table/figure reproductions *)
+     experiment   run one of the paper's table/figure reproductions
+     design       search gate-type pools for Pareto-optimal instruction sets *)
 
 open Cmdliner
 
@@ -131,11 +132,8 @@ let study_cmd =
   in
   let seed = Arg.(value & opt int 2021 & info [ "seed" ] ~doc:"Random seed.") in
   let run isa_name app qubits count device seed =
-    let isa =
-      match Compiler.Isa.find isa_name with
-      | Some isa -> isa
-      | None -> invalid_arg (Printf.sprintf "unknown ISA %s" isa_name)
-    in
+    let isa = Isa.Set.find_exn isa_name in
+
     let cal =
       match device with
       | "sycamore" -> Device.Sycamore.line_device (max 4 qubits)
@@ -196,11 +194,8 @@ let compile_cmd =
     Arg.(value & flag & info [ "print" ] ~doc:"Print the compiled circuit.")
   in
   let run isa_name app qubits device seed optimize trace print_circuit =
-    let isa =
-      match Compiler.Isa.find isa_name with
-      | Some isa -> isa
-      | None -> invalid_arg (Printf.sprintf "unknown ISA %s" isa_name)
-    in
+    let isa = Isa.Set.find_exn isa_name in
+
     let cal =
       match device with
       | "sycamore" -> Device.Sycamore.line_device (max 4 qubits)
@@ -371,6 +366,56 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run one of the paper's table/figure reproductions")
     Term.(const run $ name_arg $ paper $ json $ output)
 
+(* ---------- design ---------- *)
+
+let design_cmd =
+  let paper = Arg.(value & flag & info [ "paper" ] ~doc:"Paper-scale sample counts.") in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Tiny candidate pool and sample set (seconds; used by the CI alias).")
+  in
+  let qubits =
+    Arg.(
+      value & opt int 54
+      & info [ "qubits" ] ~docv:"N" ~doc:"Device size for the calibration-cost model.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the report to $(docv).")
+  in
+  let run paper smoke qubits json output =
+    let cfg = if paper then Core.Config.paper else Core.Config.quick in
+    let doc = Core.Design.doc ~cfg ~n_qubits:qubits ~smoke () in
+    let s =
+      if json then
+        Core.Json.to_string
+          (Core.Report.to_json ~name:"design"
+             ~description:"searched instruction sets (Pareto frontier)" doc)
+        ^ "\n"
+      else Core.Report.render_text doc
+    in
+    match output with
+    | None ->
+      print_string s;
+      flush stdout
+    | Some file ->
+      let oc = open_out file in
+      output_string oc s;
+      close_out oc
+  in
+  Cmd.v
+    (Cmd.info "design"
+       ~doc:
+         "Search a candidate gate-type pool for the expressivity-vs-calibration \
+          Pareto frontier of instruction sets")
+    Term.(const run $ paper $ smoke $ qubits $ json $ output)
+
 let () =
   let doc = "calibration & expressivity-efficient quantum instruction sets (ISCA 2021 reproduction)" in
   let info = Cmd.info "nuop" ~version:"1.0.0" ~doc in
@@ -386,4 +431,5 @@ let () =
             qasm_cmd;
             weyl_cmd;
             experiment_cmd;
+            design_cmd;
           ]))

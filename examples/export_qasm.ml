@@ -10,7 +10,7 @@ let () =
   let rng = Rng.create 5 in
   let circuit = Apps.Qaoa.circuit rng 4 in
   let cal = Device.Sycamore.line_device 5 in
-  let isa = Compiler.Isa.g2 in
+  let isa = Isa.Set.g2 in
   let compiled, metrics =
     Compiler.Pipeline.compile_with_metrics ~stack:Compiler.Pass.optimized_stack ~cal
       ~isa circuit
@@ -18,7 +18,7 @@ let () =
   Printf.printf
     "Compiled a 4-qubit QAOA circuit for %s on the Sycamore model:\n\
     \  %d instructions, %d two-qubit gates, %d routing SWAPs\n\n"
-    (Compiler.Isa.name isa)
+    (Isa.Set.name isa)
     (Qcir.Circuit.length compiled.Compiler.Pipeline.circuit)
     compiled.Compiler.Pipeline.twoq_count compiled.Compiler.Pipeline.swap_count;
   Printf.printf "pass trace:\n%s\n"

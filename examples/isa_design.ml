@@ -4,52 +4,35 @@
      dune exec examples/isa_design.exe
 
    Takes a custom gate set, measures (1) its expressivity on the four
-   application classes and (2) its calibration cost, then compares with
-   the single-gate baseline and the paper's G7. *)
+   application classes via the shared scorer (Isa.Score) and (2) its
+   calibration cost on a 54-qubit grid (Isa.Cost), then compares with
+   the single-gate baseline and the paper's G7.
+
+   For the automated version — searching a candidate pool for the whole
+   expressivity/calibration Pareto frontier — see `nuop design`. *)
 
 open Linalg
 
-let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
-
-let expressivity rng isa =
-  (* mean exact gate count over small application-unitary samples,
-     best gate type per unitary *)
-  let samples =
-    Apps.Su4_unitaries.(
-      qv_set rng ~count:6 @ qaoa_set rng ~count:6 @ qft_set ~count:4 ()
-      @ fh_set rng ~count:4 @ swap_set ())
-  in
-  mean
-    (List.map
-       (fun u ->
-         let best =
-           List.fold_left
-             (fun acc ty ->
-               let d = Decompose.Cache.decompose_exact ty ~target:u in
-               min acc d.Decompose.Nuop.layers)
-             max_int (Compiler.Isa.gate_types isa)
-         in
-         float_of_int best)
-       samples)
-
 let () =
   let rng = Rng.create 11 in
-  (* a custom three-type set: CZ + sqrt(iSWAP) + SWAP *)
-  let custom =
-    Compiler.Isa.make "Custom" Gates.Gate_type.[ s3; s2; swap_type ]
+  let samples =
+    Isa.Score.samples
+      ~counts:
+        Apps.Su4_unitaries.[ (Qv, 6); (Qaoa, 6); (Qft, 4); (Fh, 4); (Swap, 1) ]
+      rng
   in
-  let m = Calibration.Model.default in
-  let pairs = Calibration.Model.grid_pairs 54 in
-  Printf.printf "%-8s %-7s %-18s %-20s\n" "ISA" "types" "mean gates/unitary"
-    "calibration circuits (54q)";
+  (* a custom three-type set: CZ + sqrt(iSWAP) + SWAP *)
+  let custom = Isa.Set.make "Custom" Gates.Gate_type.[ s3; s2; swap_type ] in
+  Printf.printf "%-8s %-7s %-12s %-12s %-20s\n" "ISA" "types" "mean gates"
+    "mean F_u" "calibration circuits (54q)";
   List.iter
     (fun isa ->
-      Printf.printf "%-8s %-7d %-18.2f %.2e\n" (Compiler.Isa.name isa)
-        (Compiler.Isa.size isa) (expressivity rng isa)
-        (float_of_int
-           (Calibration.Model.total_circuits m ~n_pairs:pairs
-              ~n_types:(Compiler.Isa.size isa))))
-    [ Compiler.Isa.s3; Compiler.Isa.s1; custom; Compiler.Isa.g7 ];
+      let score = Isa.Score.score ~samples isa in
+      let cost = Isa.Cost.grid ~n_qubits:54 isa in
+      Printf.printf "%-8s %-7d %-12.2f %-12.4f %.2e\n" (Isa.Set.name isa)
+        (Isa.Set.size isa) score.Isa.Score.mean_layers score.Isa.Score.mean_fidelity
+        (float_of_int cost.Isa.Cost.circuits))
+    [ Isa.Set.s3; Isa.Set.s1; custom; Isa.Set.g7 ];
   Printf.printf
     "\nThe continuous fSim family would need ~%d calibrated types — %.0fx the\n\
      calibration of the custom 3-type set for a fraction of a gate saved per\n\

@@ -12,7 +12,7 @@ let () =
   let rng = Rng.create 2021 in
   let target = Apps.Qv.random_unitary rng in
   let cal = Device.Aspen8.ring_device () in
-  let isa = Compiler.Isa.make "CZ+XY" Gates.Gate_type.[ s3; s4 ] in
+  let isa = Isa.Set.make "CZ+XY" Gates.Gate_type.[ s3; s4 ] in
   Printf.printf
     "Decomposing one SU(4) unitary on every Aspen-8 ring edge with {CZ, iSWAP}:\n\n";
   Printf.printf "%-8s %-12s %-12s %-22s\n" "edge" "CZ fid" "iSWAP fid" "NuOp choice";

@@ -64,11 +64,11 @@ let () =
       in
       Printf.printf
         "%-8s %2d hardware 2Q gates (%d routing SWAPs) | XED = %.4f | expected cut = %.3f\n"
-        (Compiler.Isa.name isa) compiled.Compiler.Pipeline.twoq_count
+        (Isa.Set.name isa) compiled.Compiler.Pipeline.twoq_count
         compiled.Compiler.Pipeline.swap_count
         (Metrics.Xed.difference ~ideal:ideal_probs ~noisy)
         (expectation_cut graph noisy))
-    Compiler.Isa.[ s3; s4; r1; r5; full_xy ];
+    Isa.Set.[ s3; s4; r1; r5; full_xy ];
   Printf.printf
     "\nMulti-type sets (R1, R5) express the same circuit in fewer noisy gates\n\
      and recover more of the noiseless cut value — Fig 9b of the paper.\n"

@@ -1,0 +1,16 @@
+(* Library interface of the compiler.
+
+   Instruction sets moved to the bottom library [Isa] (lib/isa) — the
+   compiler consumes [Isa.Set] and no longer owns the definitions. *)
+
+module Isa = Isa.Set
+(** Deprecated alias for {!Isa.Set}, kept so pre-refactor call sites
+    ([Compiler.Isa.g7], ...) keep compiling during the transition.  New
+    code should use [Isa.Set] (plus [Isa.Score] / [Isa.Cost] /
+    [Isa.Search]) directly. *)
+
+module Mapping = Mapping
+module Pass = Pass
+module Pass_manager = Pass_manager
+module Pipeline = Pipeline
+module Router = Router

@@ -14,7 +14,7 @@ let path_score cal isa path =
               | Invalid_argument _ -> 0.0
             in
             Float.max best f)
-          0.0 (Isa.gate_types isa)
+          0.0 (Isa.Set.gate_types isa)
       in
       walk (acc +. Float.log (Float.max best 1e-6)) rest
     | [ _ ] | [] -> acc

@@ -1,6 +1,6 @@
 (** Initial qubit placement on the device. *)
 
-val best_line : ?limit:int -> Device.Calibration.t -> Isa.t -> int -> int array option
+val best_line : ?limit:int -> Device.Calibration.t -> Isa.Set.t -> int -> int array option
 (** Noise-aware placement: the simple path of k device qubits whose edges
     have the best available fidelities for the instruction set. *)
 
@@ -8,4 +8,4 @@ val trivial : Device.Calibration.t -> int -> int array option
 (** First simple path found, fidelity-blind. *)
 
 val enumerate_paths : Device.Topology.t -> int -> limit:int -> int list list
-val path_score : Device.Calibration.t -> Isa.t -> int list -> float
+val path_score : Device.Calibration.t -> Isa.Set.t -> int list -> float

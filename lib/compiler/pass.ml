@@ -39,7 +39,7 @@ let default_options =
 module Context = struct
   type t = {
     cal : Device.Calibration.t;
-    isa : Isa.t;
+    isa : Isa.Set.t;
     options : options;
     n_logical : int;
     mutable placement : int array option;  (** logical -> device start qubit *)
@@ -108,7 +108,7 @@ let decompose_on_edge ~options ~cal ~isa ~edge ~target =
     in
     d
   in
-  let candidates = List.map candidate (Isa.gate_types isa) in
+  let candidates = List.map candidate (Isa.Set.gate_types isa) in
   if options.adaptive then Decompose.Nuop.select_best candidates
   else begin
     (* fidelity-blind selection: best decomposition quality, then fewest
@@ -152,7 +152,7 @@ let edge_cost ~cal ~isa edge =
         match Device.Calibration.twoq_error cal edge ty with
         | e -> Float.min acc e
         | exception Invalid_argument _ -> acc)
-      infinity (Isa.gate_types isa)
+      infinity (Isa.Set.gate_types isa)
   in
   if best = infinity then 0.0 else best
 

@@ -18,7 +18,7 @@ val default_options : options
 module Context : sig
   type t = {
     cal : Device.Calibration.t;
-    isa : Isa.t;
+    isa : Isa.Set.t;
     options : options;
     n_logical : int;
     mutable placement : int array option;  (** logical -> device start qubit *)
@@ -36,7 +36,7 @@ module Context : sig
   val create :
     ?options:options ->
     cal:Device.Calibration.t ->
-    isa:Isa.t ->
+    isa:Isa.Set.t ->
     ?placement:int array ->
     Qcir.Circuit.t ->
     t
@@ -54,7 +54,7 @@ val run : t -> Context.t -> unit
 val decompose_on_edge :
   options:options ->
   cal:Device.Calibration.t ->
-  isa:Isa.t ->
+  isa:Isa.Set.t ->
   edge:int * int ->
   target:Mat.t ->
   Decompose.Nuop.t
@@ -92,7 +92,7 @@ val compact : t
 (** Renumbers the circuit onto the qubits it actually touches, recording
     the compact->device [qubit_map]. *)
 
-val edge_cost : cal:Device.Calibration.t -> isa:Isa.t -> int * int -> float
+val edge_cost : cal:Device.Calibration.t -> isa:Isa.Set.t -> int * int -> float
 (** Best calibrated error across the set's gate types on an edge (the
     router tie-break). *)
 

@@ -24,7 +24,7 @@ type compiled = {
   n_logical : int;
   swap_count : int;
   twoq_count : int;
-  isa : Isa.t;
+  isa : Isa.Set.t;
 }
 
 let decompose_on_edge = Pass.decompose_on_edge

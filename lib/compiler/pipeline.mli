@@ -19,13 +19,13 @@ type compiled = {
   n_logical : int;
   swap_count : int;
   twoq_count : int;
-  isa : Isa.t;
+  isa : Isa.Set.t;
 }
 
 val decompose_on_edge :
   options:options ->
   cal:Device.Calibration.t ->
-  isa:Isa.t ->
+  isa:Isa.Set.t ->
   edge:int * int ->
   target:Linalg.Mat.t ->
   Decompose.Nuop.t
@@ -36,7 +36,7 @@ val compile :
   ?options:options ->
   ?stack:Pass.t list ->
   cal:Device.Calibration.t ->
-  isa:Isa.t ->
+  isa:Isa.Set.t ->
   ?placement:int array ->
   Qcir.Circuit.t ->
   compiled
@@ -47,7 +47,7 @@ val compile_with_metrics :
   ?options:options ->
   ?stack:Pass.t list ->
   cal:Device.Calibration.t ->
-  isa:Isa.t ->
+  isa:Isa.Set.t ->
   ?placement:int array ->
   Qcir.Circuit.t ->
   compiled * Pass_manager.pass_metrics list
@@ -56,7 +56,7 @@ val compile_with_metrics :
 val compile_reference :
   ?options:options ->
   cal:Device.Calibration.t ->
-  isa:Isa.t ->
+  isa:Isa.Set.t ->
   ?placement:int array ->
   Qcir.Circuit.t ->
   compiled

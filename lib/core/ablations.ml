@@ -22,7 +22,7 @@ let ablation_adaptivity b cfg rng =
     let options =
       { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop; adaptive }
     in
-    (Study.evaluate_suite ~options ~cal ~isa:Compiler.Isa.r2 ~metric:Study.Xed circuits)
+    (Study.evaluate_suite ~options ~cal ~isa:Isa.Set.r2 ~metric:Study.Xed circuits)
       .Study.mean_metric
   in
   Report.Builder.table b ~header:[ "selection"; "QAOA XED" ]
@@ -42,7 +42,7 @@ let ablation_placement b cfg rng =
         (fun circuit ->
           let placement = placement_of (Qcir.Circuit.n_qubits circuit) in
           let compiled =
-            Compiler.Pipeline.compile ~options ~cal ~isa:Compiler.Isa.s3 ~placement
+            Compiler.Pipeline.compile ~options ~cal ~isa:Isa.Set.s3 ~placement
               circuit
           in
           let nm = Compiler.Pipeline.noise_model ~cal compiled in
@@ -56,7 +56,7 @@ let ablation_placement b cfg rng =
     in
     List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
   in
-  let aware n = Option.get (Compiler.Mapping.best_line cal Compiler.Isa.s3 n) in
+  let aware n = Option.get (Compiler.Mapping.best_line cal Isa.Set.s3 n) in
   let blind n = Option.get (Compiler.Mapping.trivial cal n) in
   Report.Builder.table b ~header:[ "placement"; "QV HOP" ]
     [
@@ -84,7 +84,7 @@ let ablation_min_layers b cfg rng =
       }
     in
     let r =
-      Study.evaluate_suite ~options ~cal ~isa:Compiler.Isa.s3 ~metric:Study.Xed circuits
+      Study.evaluate_suite ~options ~cal ~isa:Isa.Set.s3 ~metric:Study.Xed circuits
     in
     (r.Study.mean_metric, r.Study.mean_twoq)
   in
@@ -111,11 +111,11 @@ let ablation_cphase_family b cfg rng =
       (fun isa ->
         let r = Study.evaluate_suite ~options ~cal ~isa ~metric:Study.Xed circuits in
         [
-          Compiler.Isa.name isa;
+          Isa.Set.name isa;
           Report.f4 r.Study.mean_metric;
           Report.f2 r.Study.mean_twoq;
         ])
-      Compiler.Isa.[ s3; full_cphase; g7; full_fsim ]
+      Isa.Set.[ s3; full_cphase; g7; full_fsim ]
   in
   Report.Builder.table b ~header:[ "ISA"; "QAOA XED"; "2Q gates" ] rows;
   Report.Builder.textf b
@@ -159,7 +159,7 @@ let ablation_mitigation b cfg rng =
     let values =
       List.map
         (fun circuit ->
-          let compiled = Compiler.Pipeline.compile ~options ~cal ~isa:Compiler.Isa.g2 circuit in
+          let compiled = Compiler.Pipeline.compile ~options ~cal ~isa:Isa.Set.g2 circuit in
           let nm = Compiler.Pipeline.noise_model ~cal compiled in
           let raw = Sim.Noisy.output_probabilities nm compiled.Compiler.Pipeline.circuit in
           let n = Array.length compiled.Compiler.Pipeline.qubit_map in
@@ -193,7 +193,7 @@ let ablation_pass_stack b cfg rng =
   let circuits = qaoa_suite cfg rng 4 in
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
   let eval stack =
-    Study.evaluate_suite ~options ~stack ~cal ~isa:Compiler.Isa.r2 ~metric:Study.Xed
+    Study.evaluate_suite ~options ~stack ~cal ~isa:Isa.Set.r2 ~metric:Study.Xed
       circuits
   in
   let plain = eval Compiler.Pass.default_stack in
@@ -207,7 +207,7 @@ let ablation_pass_stack b cfg rng =
   (* per-pass trace on one representative circuit *)
   let _, metrics =
     Compiler.Pipeline.compile_with_metrics ~options
-      ~stack:Compiler.Pass.optimized_stack ~cal ~isa:Compiler.Isa.r2
+      ~stack:Compiler.Pass.optimized_stack ~cal ~isa:Isa.Set.r2
       (List.hd circuits)
   in
   Study.add_pass_metrics b metrics;

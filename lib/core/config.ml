@@ -20,6 +20,8 @@ type t = {
   trajectories : int;  (** Monte Carlo trajectories for Fig 10f *)
   fh_sizes : int list;  (** Fermi-Hubbard circuit sizes for Fig 10f *)
   fig10f_points : int;  (** error-rate sweep points in Fig 10f *)
+  design_max_types : int;  (** largest set size the design search explores *)
+  design_beam : int;  (** beam width of the design search *)
   nuop : Decompose.Nuop.options;
 }
 
@@ -39,6 +41,8 @@ let quick =
     trajectories = 12;
     fh_sizes = [ 10; 14 ];
     fig10f_points = 4;
+    design_max_types = 8;
+    design_beam = 2;
     nuop = { Decompose.Nuop.default_options with starts = 3 };
   }
 
@@ -58,6 +62,8 @@ let paper =
     trajectories = 40;
     fh_sizes = [ 10; 20 ];
     fig10f_points = 6;
+    design_max_types = 8;
+    design_beam = 3;
     nuop = Decompose.Nuop.default_options;
   }
 

@@ -16,6 +16,8 @@ type t = {
   trajectories : int;
   fh_sizes : int list;
   fig10f_points : int;
+  design_max_types : int;
+  design_beam : int;
   nuop : Decompose.Nuop.options;
 }
 

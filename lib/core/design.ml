@@ -1,0 +1,147 @@
+(* The `design` experiment: automated instruction-set construction.
+
+   Rediscovers R5/G7-class discrete sets from a candidate pool with
+   Isa.Search, costs every point on a 54-qubit near-square grid with
+   Isa.Cost, and reports the expressivity-vs-calibration Pareto
+   frontier next to the paper's hand-picked sets — the repo producing
+   Table II instead of transcribing it.
+
+   [smoke] shrinks everything (3-type pool, 2-point frontier, tiny
+   samples) for the CI alias. *)
+
+open Linalg
+
+let smoke_counts = Apps.Su4_unitaries.[ (Qv, 2); (Qaoa, 2); (Swap, 1) ]
+
+let default_counts =
+  Apps.Su4_unitaries.[ (Qv, 6); (Qaoa, 6); (Qft, 4); (Fh, 4); (Swap, 1) ]
+
+let type_names set =
+  String.concat "+" (List.map Gates.Gate_type.name (Isa.Set.gate_types set))
+
+(* Best frontier point with a mid-sized (4-8 type) set, if any: the
+   paper's sweet spot between a lone gate and a continuous family. *)
+let best_mid frontier =
+  List.fold_left
+    (fun acc p ->
+      let k = Isa.Set.size p.Isa.Search.set in
+      if k < 4 || k > 8 then acc
+      else
+        match acc with
+        | Some q
+          when q.Isa.Search.score.Isa.Score.mean_fidelity
+               >= p.Isa.Search.score.Isa.Score.mean_fidelity ->
+          acc
+        | _ -> Some p)
+    None frontier
+
+let doc ?(cfg = Config.default) ?(n_qubits = 54) ?(smoke = false) () =
+  let b = Report.Builder.create () in
+  Report.Builder.heading b
+    "Design: searched instruction sets on the expressivity/calibration frontier";
+  let rng = Rng.create (cfg.Config.seed + 12) in
+  let counts = if smoke then smoke_counts else default_counts in
+  let samples = Isa.Score.samples ~counts rng in
+  let topology = Isa.Cost.grid_topology n_qubits in
+  let nuop =
+    if smoke then { cfg.Config.nuop with Decompose.Nuop.starts = 2; max_layers = 3 }
+    else cfg.Config.nuop
+  in
+  let options =
+    {
+      Isa.Search.default_options with
+      max_types = (if smoke then 2 else cfg.Config.design_max_types);
+      beam_width = (if smoke then 1 else cfg.Config.design_beam);
+      nuop;
+    }
+  in
+  let pool =
+    if smoke then Gates.Gate_type.[ s3; s2; swap_type ]
+    else Isa.Search.default_pool ()
+  in
+  let n_samples = List.fold_left (fun acc (_, us) -> acc + List.length us) 0 samples in
+  Report.Builder.textf b
+    "candidate pool: %d types; samples: %d application unitaries; device: %d-qubit grid\n"
+    (List.length pool) n_samples n_qubits;
+  let points = Isa.Search.run ~options ~samples ~topology pool in
+  let frontier = Isa.Search.pareto points in
+  let on_frontier p =
+    List.exists
+      (fun q -> String.equal (Isa.Set.name q.Isa.Search.set) (Isa.Set.name p.Isa.Search.set))
+      frontier
+  in
+  Report.Builder.subheading b "searched points (best set per size)";
+  let point_row p =
+    let open Isa.Search in
+    [
+      Isa.Set.name p.set;
+      string_of_int (Isa.Set.size p.set);
+      type_names p.set;
+      Report.f2 p.score.Isa.Score.mean_layers;
+      Report.f4 p.score.Isa.Score.mean_fidelity;
+      Printf.sprintf "%.2e" (float_of_int p.cost.Isa.Cost.circuits);
+      Printf.sprintf "%.0f" p.cost.Isa.Cost.hours_parallel;
+      (if on_frontier p then "*" else "");
+    ]
+  in
+  Report.Builder.table b
+    ~header:
+      [ "set"; "types"; "gate types"; "mean gates"; "mean F_u"; "cal circuits"; "cal hours"; "frontier" ]
+    (List.map point_row points);
+  (* the paper's hand-picked sets, scored on the same samples *)
+  let baselines =
+    if smoke then [ Isa.Set.s3 ] else Isa.Set.[ g7; r5; full_fsim ]
+  in
+  let scored_baselines =
+    List.map
+      (fun set ->
+        ( set,
+          Isa.Score.score ~options:nuop ~threshold:options.Isa.Search.threshold
+            ~error_rate:options.Isa.Search.error_rate ~samples set,
+          Isa.Cost.on ~topology set ))
+      baselines
+  in
+  Report.Builder.subheading b "Table II baselines on the same samples";
+  Report.Builder.table b
+    ~header:[ "set"; "eff. types"; "mean gates"; "mean F_u"; "cal circuits" ]
+    (List.map
+       (fun (set, score, cost) ->
+         [
+           Isa.Set.name set;
+           string_of_int cost.Isa.Cost.n_types;
+           Report.f2 score.Isa.Score.mean_layers;
+           Report.f4 score.Isa.Score.mean_fidelity;
+           Printf.sprintf "%.2e" (float_of_int cost.Isa.Cost.circuits);
+         ])
+       scored_baselines);
+  Report.Builder.metric b "frontier_points" (float_of_int (List.length frontier));
+  (match
+     List.find_opt
+       (fun (set, _, _) -> String.equal (Isa.Set.name set) "Full_fSim")
+       scored_baselines
+   with
+  | Some (_, fsim_score, fsim_cost) -> (
+    match best_mid frontier with
+    | Some p ->
+      let rel =
+        p.Isa.Search.score.Isa.Score.mean_fidelity
+        /. fsim_score.Isa.Score.mean_fidelity
+      in
+      let ratio =
+        float_of_int fsim_cost.Isa.Cost.circuits
+        /. float_of_int p.Isa.Search.cost.Isa.Cost.circuits
+      in
+      Report.Builder.metric b "best_mid_rel_expressivity" rel;
+      Report.Builder.metric b "mid_cost_ratio" ratio;
+      Report.Builder.textf b
+        "\nThe searched %d-type set %s reaches %.1f%% of Full_fSim's expressivity\n\
+         at %.0fx fewer calibration circuits — the paper's 'two orders of\n\
+         magnitude' trade, found by search rather than transcribed.\n"
+        (Isa.Set.size p.Isa.Search.set)
+        (type_names p.Isa.Search.set)
+        (100.0 *. rel) ratio
+    | None -> ())
+  | None -> ());
+  Report.Builder.doc b
+
+let run ?cfg () = Report.print (doc ?cfg ())

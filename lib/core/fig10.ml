@@ -8,7 +8,7 @@
 
 open Linalg
 
-let isas = Compiler.Isa.(google_singles @ google_multis @ [ full_fsim ])
+let isas = Isa.Set.(google_singles @ google_multis @ [ full_fsim ])
 
 let make_qft_circuits cfg n =
   List.init cfg.Config.qft_inputs (fun k ->
@@ -41,7 +41,7 @@ let full_fsim_degraded cfg base_seed ~metric circuits scales =
       let cal = Device.Sycamore.line_device ~seed:base_seed 6 in
       let cal = Device.Calibration.with_family_error_scale cal scale in
       let r =
-        Study.evaluate_suite ~options ~cal ~isa:Compiler.Isa.full_fsim ~metric circuits
+        Study.evaluate_suite ~options ~cal ~isa:Isa.Set.full_fsim ~metric circuits
       in
       (scale, r))
     scales
@@ -63,7 +63,7 @@ let panel_f b cfg =
   Report.Builder.subheading b
     "(f) Fermi-Hubbard at 10/20 qubits vs hardware error rate (trajectories)";
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
-  let sets = Compiler.Isa.[ s2; g7 ] in
+  let sets = Isa.Set.[ s2; g7 ] in
   let sweep =
     let n = cfg.Config.fig10f_points in
     List.init n (fun k ->

@@ -44,24 +44,22 @@ let panel_b b cfg =
   let qaoa = Apps.Qaoa.circuits rng ~count:(max 4 (cfg.Config.qaoa_count / 2)) 4 in
   let cal = Device.Sycamore.line_device 6 in
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
-  let m = Calibration.Model.default in
+  (* topology-aware cost: a 54-qubit near-square grid; its greedy edge
+     coloring yields the model's 4 parallel batches *)
+  let topology = Isa.Cost.grid_topology 54 in
   let sets =
-    Compiler.Isa.[ s1; g1; g2; g3; g4; g5; g6; g7 ]
+    Isa.Set.[ s1; g1; g2; g3; g4; g5; g6; g7 ]
   in
   let rows =
     List.map
       (fun isa ->
-        let n_types = Compiler.Isa.size isa in
+        let cost = Isa.Cost.on ~topology isa in
         let r = Study.evaluate_suite ~options ~cal ~isa ~metric:Study.Xed qaoa in
         [
-          Compiler.Isa.name isa;
-          string_of_int n_types;
-          Printf.sprintf "%.0f" (Calibration.Model.time_hours_parallel m ~n_types);
-          Printf.sprintf "%.2e"
-            (float_of_int
-               (Calibration.Model.total_circuits m
-                  ~n_pairs:(Calibration.Model.grid_pairs 54)
-                  ~n_types));
+          Isa.Set.name isa;
+          string_of_int cost.Isa.Cost.n_types;
+          Printf.sprintf "%.0f" cost.Isa.Cost.hours_parallel;
+          Printf.sprintf "%.2e" (float_of_int cost.Isa.Cost.circuits);
           Report.f4 r.Study.mean_metric;
           Report.f2 r.Study.mean_twoq;
         ])
@@ -71,7 +69,7 @@ let panel_b b cfg =
     ~header:[ "ISA"; "types"; "cal hours"; "cal circuits (54q)"; "QAOA XED"; "2Q gates" ]
     rows;
   Report.Builder.metric b "cal_hours_8types"
-    (Calibration.Model.time_hours_parallel m ~n_types:8);
+    (Isa.Cost.of_type_count ~topology 8).Isa.Cost.hours_parallel;
   Report.Builder.metric b "continuous_overhead_factor_8types"
     (Calibration.Model.continuous_overhead_factor ~n_types:8);
   Report.Builder.textf b

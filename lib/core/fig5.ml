@@ -13,7 +13,7 @@ let doc ?(cfg = Config.default) () =
   (* The paper's walkthrough numbers: on (2,3) CZ is the high-fidelity
      gate (94%), on (3,4) the XY-family gate is (95%). *)
   let cal = Device.Aspen8.ring_device () in
-  let isa = Compiler.Isa.make "CZ+sqrt_iSWAP" Gates.Gate_type.[ s3; s2 ] in
+  let isa = Isa.Set.make "CZ+sqrt_iSWAP" Gates.Gate_type.[ s3; s2 ] in
   Device.Calibration.set_twoq_error cal (2, 3) Gates.Gate_type.s3 0.06;
   Device.Calibration.set_twoq_error cal (2, 3) Gates.Gate_type.s2 0.10;
   Device.Calibration.set_twoq_error cal (3, 4) Gates.Gate_type.s3 0.09;
@@ -50,7 +50,7 @@ let doc ?(cfg = Config.default) () =
       (fun ty ->
         Report.Builder.textf b "  %s fid=%.3f" (Gates.Gate_type.name ty)
           (Device.Calibration.twoq_fidelity cal edge ty))
-      (Compiler.Isa.gate_types isa);
+      (Isa.Set.gate_types isa);
     Report.Builder.textf b
       "\n  -> chose %s, %d applications, Fd=%.4f Fh=%.4f Fu=%.4f\n"
       (Gates.Gate_type.name d.Decompose.Nuop.gate_type)

@@ -25,40 +25,33 @@ let unitary_sets cfg rng =
 
 (* (mean gate count, mean decomposition error) or None if unsupported. *)
 let evaluate cfg mode gate_type unitaries =
-  let results =
-    List.filter_map
-      (fun u ->
-        match mode with
-        | Cirq ->
+  match mode with
+  | Nuop_hw f ->
+    (* NuOp modes go through the shared scorer: perfect hardware is the
+       classic exact decomposition, otherwise the hardware-aware mode *)
+    let m = if f >= 1.0 then `Exact Isa.Score.default_threshold else `Approx f in
+    let s =
+      Isa.Score.stats_for_type ~options:cfg.Config.nuop ~mode:m gate_type unitaries
+    in
+    Some (s.Isa.Score.layers, s.Isa.Score.error)
+  | Cirq -> (
+    let results =
+      List.filter_map
+        (fun u ->
           Option.map
             (fun r ->
               ( float_of_int r.Decompose.Cirq_like.gate_count,
                 r.Decompose.Cirq_like.decomposition_error ))
-            (Decompose.Cirq_like.decompose ~target_gate:gate_type u)
-        | Nuop_hw f when f >= 1.0 ->
-          (* perfect hardware: classic exact decomposition (smallest
-             template reaching the fidelity threshold) *)
-          let d =
-            Decompose.Cache.decompose_exact ~options:cfg.Config.nuop
-              ~threshold:(1.0 -. 1e-6) gate_type ~target:u
-          in
-          Some (float_of_int d.Decompose.Nuop.layers, 1.0 -. d.Decompose.Nuop.fd)
-        | Nuop_hw f ->
-          let fh layers = f ** float_of_int layers in
-          let d =
-            Decompose.Cache.decompose_approx ~options:cfg.Config.nuop ~fh gate_type
-              ~target:u
-          in
-          Some (float_of_int d.Decompose.Nuop.layers, 1.0 -. d.Decompose.Nuop.fd))
-      unitaries
-  in
-  match results with
-  | [] -> None
-  | _ ->
-    let n = float_of_int (List.length results) in
-    let sum_c = List.fold_left (fun acc (c, _) -> acc +. c) 0.0 results in
-    let sum_e = List.fold_left (fun acc (_, e) -> acc +. e) 0.0 results in
-    Some (sum_c /. n, sum_e /. n)
+            (Decompose.Cirq_like.decompose ~target_gate:gate_type u))
+        unitaries
+    in
+    match results with
+    | [] -> None
+    | _ ->
+      let n = float_of_int (List.length results) in
+      let sum_c = List.fold_left (fun acc (c, _) -> acc +. c) 0.0 results in
+      let sum_e = List.fold_left (fun acc (_, e) -> acc +. e) 0.0 results in
+      Some (sum_c /. n, sum_e /. n))
 
 let doc ?(cfg = Config.default) () =
   let b = Report.Builder.create () in

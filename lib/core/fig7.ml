@@ -26,7 +26,7 @@ let evaluate cfg ~approximate ~mu circuits metric =
       exact_threshold = 1.0 -. 1e-6;
     }
   in
-  let r = Study.evaluate_suite ~options ~cal ~isa:Compiler.Isa.s1 ~metric circuits in
+  let r = Study.evaluate_suite ~options ~cal ~isa:Isa.Set.s1 ~metric circuits in
   r.Study.mean_metric
 
 let doc ?(cfg = Config.default) () =

@@ -11,17 +11,7 @@ type cell_table = (int * int, float) Hashtbl.t
 
 let mean_count cfg gate_type unitaries =
   let options = { cfg.Config.nuop with starts = max 2 (cfg.Config.nuop.starts - 1) } in
-  let counts =
-    List.map
-      (fun u ->
-        let d =
-          Decompose.Cache.decompose_exact ~options ~threshold:(1.0 -. 1e-6) gate_type
-            ~target:u
-        in
-        float_of_int d.Decompose.Nuop.layers)
-      unitaries
-  in
-  List.fold_left ( +. ) 0.0 counts /. float_of_int (List.length counts)
+  Isa.Score.mean_layers_for_type ~options gate_type unitaries
 
 let compute cfg unitaries : cell_table * float list * float list =
   let g = cfg.Config.fig8_grid in

@@ -5,7 +5,7 @@
 open Linalg
 
 let isas =
-  Compiler.Isa.(rigetti_singles @ rigetti_multis @ [ full_xy ])
+  Isa.Set.(rigetti_singles @ rigetti_multis @ [ full_xy ])
 
 let stack = Compiler.Pass.default_stack
 

@@ -81,6 +81,11 @@ let all =
       description = "design-decision & extension ablations";
       run = (fun cfg -> Ablations.doc ~cfg ());
     };
+    {
+      name = "design";
+      description = "searched instruction sets (Pareto frontier)";
+      run = (fun cfg -> Design.doc ~cfg ());
+    };
   ]
 
 let find name = List.find_opt (fun e -> String.equal e.name name) all

@@ -80,7 +80,7 @@ let evaluate_suite ?options ?stack ?domains ~cal ~isa ~metric circuits =
       (0.0, 0, 0) evaluations
   in
   {
-    isa_name = Compiler.Isa.name isa;
+    isa_name = Isa.Set.name isa;
     mean_metric = sum_m /. n;
     mean_twoq = float_of_int sum_g /. n;
     mean_swaps = float_of_int sum_s /. n;

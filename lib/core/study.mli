@@ -15,7 +15,7 @@ val evaluate_circuit :
   ?options:Compiler.Pipeline.options ->
   ?stack:Compiler.Pass.t list ->
   cal:Device.Calibration.t ->
-  isa:Compiler.Isa.t ->
+  isa:Isa.Set.t ->
   metric:metric ->
   Qcir.Circuit.t ->
   float * int * int
@@ -27,7 +27,7 @@ val evaluate_suite :
   ?stack:Compiler.Pass.t list ->
   ?domains:int ->
   cal:Device.Calibration.t ->
-  isa:Compiler.Isa.t ->
+  isa:Isa.Set.t ->
   metric:metric ->
   Qcir.Circuit.t list ->
   result

@@ -5,15 +5,15 @@ let doc ?cfg:(_ = Config.default) () =
   Report.Builder.heading b "Table II: instruction sets studied";
   let row isa =
     [
-      Compiler.Isa.name isa;
-      string_of_int (Compiler.Isa.size isa);
+      Isa.Set.name isa;
+      string_of_int (Isa.Set.size isa);
       String.concat ", "
-        (List.map Gates.Gate_type.name (Compiler.Isa.gate_types isa));
+        (List.map Gates.Gate_type.name (Isa.Set.gate_types isa));
     ]
   in
   Report.Builder.table b
     ~header:[ "set"; "#2Q types"; "gate types" ]
-    (List.map row Compiler.Isa.all);
+    (List.map row Isa.Set.all);
   Report.Builder.doc b
 
 let run ?cfg () = Report.print (doc ?cfg ())

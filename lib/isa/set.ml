@@ -9,7 +9,10 @@ open Gates
 type t = { name : string; gate_types : Gate_type.t list }
 
 let make name gate_types =
-  assert (gate_types <> []);
+  if gate_types = [] then
+    invalid_arg
+      (Printf.sprintf "Isa.Set.make: %S has no gate types (every set needs at least one)"
+         name);
   { name; gate_types }
 
 let name t = t.name
@@ -65,7 +68,17 @@ let rigetti_suite = rigetti_singles @ rigetti_multis @ [ full_xy ]
 let all = google_singles @ google_multis @ rigetti_multis @ [ full_xy; full_fsim; full_cphase ]
 
 let find name_str =
-  List.find_opt (fun t -> String.equal t.name name_str) all
+  let wanted = String.lowercase_ascii name_str in
+  List.find_opt (fun t -> String.equal (String.lowercase_ascii t.name) wanted) all
+
+let find_exn name_str =
+  match find name_str with
+  | Some t -> t
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Isa.Set.find_exn: unknown instruction set %S (known sets: %s)"
+         name_str
+         (String.concat ", " (List.map (fun t -> t.name) all)))
 
 let pp ppf t =
   Fmt.pf ppf "%s = {%a}" t.name

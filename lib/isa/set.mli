@@ -3,6 +3,10 @@
 type t
 
 val make : string -> Gates.Gate_type.t list -> t
+(** Raises [Invalid_argument] on an empty gate-type list: a set with no
+    two-qubit types cannot decompose anything, and downstream scorers
+    would silently fold over nothing. *)
+
 val name : t -> string
 val gate_types : t -> Gates.Gate_type.t list
 val size : t -> int
@@ -53,4 +57,10 @@ val rigetti_suite : t list
 val all : t list
 
 val find : string -> t option
+(** Case-insensitive lookup among {!all} ("g7" finds "G7"). *)
+
+val find_exn : string -> t
+(** Like {!find} but raises [Invalid_argument] with the list of known
+    set names on a miss. *)
+
 val pp : Format.formatter -> t -> unit

@@ -46,5 +46,10 @@ val compiler : (string * (unit -> unit)) list
 (** The default pass stack reproduces [compile_reference] bit for bit
     on random circuits. *)
 
+val isa : (string * (unit -> unit)) list
+(** Set design: a search restricted to a Table II set's own types
+    reconstructs that set, Pareto frontiers are undominated and cover
+    the input, and the scorer is Domain-pool-size invariant. *)
+
 val all : (string * (string * (unit -> unit)) list) list
 (** Every group above, keyed by name, in dependency order. *)

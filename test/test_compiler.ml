@@ -15,32 +15,32 @@ let fast_options =
 (* ---------- Isa ---------- *)
 
 let test_isa_sizes () =
-  check_int "S1" 1 (Compiler.Isa.size Compiler.Isa.s1);
-  check_int "G2" 3 (Compiler.Isa.size Compiler.Isa.g2);
-  check_int "G7" 8 (Compiler.Isa.size Compiler.Isa.g7);
-  check_int "R5" 6 (Compiler.Isa.size Compiler.Isa.r5);
-  check_int "all sets" 22 (List.length Compiler.Isa.all)
+  check_int "S1" 1 (Isa.Set.size Isa.Set.s1);
+  check_int "G2" 3 (Isa.Set.size Isa.Set.g2);
+  check_int "G7" 8 (Isa.Set.size Isa.Set.g7);
+  check_int "R5" 6 (Isa.Set.size Isa.Set.r5);
+  check_int "all sets" 22 (List.length Isa.Set.all)
 
 let test_isa_table2_membership () =
   (* Table II: G7 = S1..S7 + SWAP; R5 includes SWAP but not SYC *)
-  check_bool "g7 has swap" true (Compiler.Isa.mem Compiler.Isa.g7 Gates.Gate_type.swap_type);
-  check_bool "g7 has syc" true (Compiler.Isa.mem Compiler.Isa.g7 Gates.Gate_type.s1);
-  check_bool "r5 no syc" false (Compiler.Isa.mem Compiler.Isa.r5 Gates.Gate_type.s1);
-  check_bool "r5 has swap" true (Compiler.Isa.mem Compiler.Isa.r5 Gates.Gate_type.swap_type);
+  check_bool "g7 has swap" true (Isa.Set.mem Isa.Set.g7 Gates.Gate_type.swap_type);
+  check_bool "g7 has syc" true (Isa.Set.mem Isa.Set.g7 Gates.Gate_type.s1);
+  check_bool "r5 no syc" false (Isa.Set.mem Isa.Set.r5 Gates.Gate_type.s1);
+  check_bool "r5 has swap" true (Isa.Set.mem Isa.Set.r5 Gates.Gate_type.swap_type);
   check_bool "r1 = {cz, iswap}" true
-    (Compiler.Isa.mem Compiler.Isa.r1 Gates.Gate_type.s3
-    && Compiler.Isa.mem Compiler.Isa.r1 Gates.Gate_type.s4)
+    (Isa.Set.mem Isa.Set.r1 Gates.Gate_type.s3
+    && Isa.Set.mem Isa.Set.r1 Gates.Gate_type.s4)
 
 let test_isa_continuous () =
-  check_bool "full_fsim" true (Compiler.Isa.is_continuous Compiler.Isa.full_fsim);
-  check_bool "g7 discrete" false (Compiler.Isa.is_continuous Compiler.Isa.g7)
+  check_bool "full_fsim" true (Isa.Set.is_continuous Isa.Set.full_fsim);
+  check_bool "g7 discrete" false (Isa.Set.is_continuous Isa.Set.g7)
 
 let test_isa_find () =
   check_bool "finds G3" true
-    (match Compiler.Isa.find "G3" with
-    | Some isa -> Compiler.Isa.size isa = 4
+    (match Isa.Set.find "G3" with
+    | Some isa -> Isa.Set.size isa = 4
     | None -> false);
-  check_bool "unknown" true (Compiler.Isa.find "nope" = None)
+  check_bool "unknown" true (Isa.Set.find "nope" = None)
 
 (* ---------- Mapping ---------- *)
 
@@ -57,7 +57,7 @@ let test_mapping_trivial () =
 
 let test_mapping_best_line_prefers_fidelity () =
   let cal = Device.Aspen8.ring_device () in
-  let isa = Compiler.Isa.s3 in
+  let isa = Isa.Set.s3 in
   match Compiler.Mapping.best_line cal isa 3 with
   | None -> Alcotest.fail "expected placement"
   | Some p ->
@@ -168,11 +168,11 @@ let small_circuit () =
 let test_pipeline_hardware_gates_only () =
   let cal = Device.Sycamore.line_device 4 in
   let compiled =
-    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Compiler.Isa.g2
+    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Isa.Set.g2
       (small_circuit ())
   in
   let allowed =
-    "u3" :: List.map Gates.Gate_type.name (Compiler.Isa.gate_types Compiler.Isa.g2)
+    "u3" :: List.map Gates.Gate_type.name (Isa.Set.gate_types Isa.Set.g2)
   in
   Qcir.Circuit.iter
     (fun i ->
@@ -186,7 +186,7 @@ let test_pipeline_exact_reproduces_logical () =
   let cal = Device.Sycamore.line_device 4 in
   let circuit = small_circuit () in
   let options = { fast_options with approximate = false; exact_threshold = 1.0 -. 1e-8 } in
-  let compiled = Compiler.Pipeline.compile ~options ~cal ~isa:Compiler.Isa.s3 circuit in
+  let compiled = Compiler.Pipeline.compile ~options ~cal ~isa:Isa.Set.s3 circuit in
   let probs = Sim.Noisy.output_probabilities Sim.Noisy.ideal compiled.Compiler.Pipeline.circuit in
   let logical = Compiler.Pipeline.logical_probabilities compiled probs in
   let expect = Sim.State.probabilities (Sim.State.run_circuit circuit) in
@@ -199,10 +199,10 @@ let test_pipeline_swap_native_reduces_count () =
   let rng = Rng.create 8 in
   let circuit = Apps.Qaoa.circuit rng 4 in
   let with_swap =
-    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Compiler.Isa.g7 circuit
+    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Isa.Set.g7 circuit
   in
   let without =
-    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Compiler.Isa.g6 circuit
+    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Isa.Set.g6 circuit
   in
   check_bool "fewer gates with SWAP" true
     (with_swap.Compiler.Pipeline.twoq_count < without.Compiler.Pipeline.twoq_count)
@@ -210,7 +210,7 @@ let test_pipeline_swap_native_reduces_count () =
 let test_pipeline_errors_aligned () =
   let cal = Device.Sycamore.line_device 4 in
   let compiled =
-    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Compiler.Isa.s1
+    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Isa.Set.s1
       (small_circuit ())
   in
   check_int "one error per instruction"
@@ -230,7 +230,7 @@ let test_pipeline_adaptive_beats_blind () =
      should never produce lower estimated overall fidelity *)
   let cal = Device.Aspen8.ring_device () in
   let u = Qr.haar_special_unitary (Rng.create 9) 4 in
-  let isa = Compiler.Isa.r2 in
+  let isa = Isa.Set.r2 in
   let adaptive =
     Compiler.Pipeline.decompose_on_edge ~options:fast_options ~cal ~isa ~edge:(2, 3)
       ~target:u
@@ -247,7 +247,7 @@ let test_pipeline_adaptive_beats_blind () =
 let test_pipeline_logical_probabilities_marginalize () =
   let cal = Device.Sycamore.line_device 5 in
   let compiled =
-    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Compiler.Isa.s2
+    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Isa.Set.s2
       (small_circuit ())
   in
   let probs = Sim.Noisy.output_probabilities Sim.Noisy.ideal compiled.Compiler.Pipeline.circuit in
@@ -258,7 +258,7 @@ let test_pipeline_logical_probabilities_marginalize () =
 let test_pipeline_full_family () =
   let cal = Device.Sycamore.line_device 4 in
   let compiled =
-    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Compiler.Isa.full_fsim
+    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Isa.Set.full_fsim
       (small_circuit ())
   in
   (* continuous set: on average at most ~2 gates per unitary + routing *)
@@ -313,11 +313,11 @@ let test_pass_default_stack_matches_reference () =
     [
       ( "fig10 QV",
         Device.Sycamore.line_device 4,
-        Compiler.Isa.g2,
+        Isa.Set.g2,
         Apps.Qv.circuit (Rng.create 7) 3 );
       ( "fig9 QAOA",
         Device.Aspen8.ring_device (),
-        Compiler.Isa.r2,
+        Isa.Set.r2,
         Apps.Qaoa.circuit (Rng.create 8) 4 );
     ]
 
@@ -326,7 +326,7 @@ let test_pass_metrics_recorded () =
   Decompose.Cache.clear ();
   let compiled, metrics =
     Compiler.Pipeline.compile_with_metrics ~options:fast_options ~cal
-      ~isa:Compiler.Isa.g2
+      ~isa:Isa.Set.g2
       (Apps.Qaoa.circuit (Rng.create 3) 4)
   in
   check_int "one record per pass"
@@ -348,11 +348,11 @@ let test_pass_merge_oneq_preserves_unitary () =
   let cal = Device.Sycamore.line_device 4 in
   let circuit = small_circuit () in
   let plain =
-    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Compiler.Isa.g2 circuit
+    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Isa.Set.g2 circuit
   in
   let merged =
     Compiler.Pipeline.compile ~options:fast_options
-      ~stack:Compiler.Pass.optimized_stack ~cal ~isa:Compiler.Isa.g2 circuit
+      ~stack:Compiler.Pass.optimized_stack ~cal ~isa:Isa.Set.g2 circuit
   in
   let n1 = Qcir.Circuit.one_qubit_count plain.Compiler.Pipeline.circuit in
   let n2 = Qcir.Circuit.one_qubit_count merged.Compiler.Pipeline.circuit in
@@ -402,7 +402,7 @@ let test_pass_stack_requires_compact () =
     (try
        ignore
          (Compiler.Pipeline.compile ~options:fast_options ~stack:no_compact ~cal
-            ~isa:Compiler.Isa.s3 (small_circuit ()));
+            ~isa:Isa.Set.s3 (small_circuit ()));
        false
      with Invalid_argument _ -> true)
 

@@ -17,7 +17,7 @@ let test_study_qv_hop () =
   let cal = Device.Sycamore.line_device 4 in
   let circuits = Apps.Qv.circuits rng ~count:2 3 in
   let r =
-    Core.Study.evaluate_suite ~options:tiny_options ~cal ~isa:Compiler.Isa.g2
+    Core.Study.evaluate_suite ~options:tiny_options ~cal ~isa:Isa.Set.g2
       ~metric:Core.Study.Hop circuits
   in
   check_bool "hop plausible" true
@@ -29,7 +29,7 @@ let test_study_metrics_distinct () =
   let cal = Device.Sycamore.line_device 4 in
   let circuit = Apps.Qaoa.circuit rng 3 in
   let xed, _, _ =
-    Core.Study.evaluate_circuit ~options:tiny_options ~cal ~isa:Compiler.Isa.s3
+    Core.Study.evaluate_circuit ~options:tiny_options ~cal ~isa:Isa.Set.s3
       ~metric:Core.Study.Xed circuit
   in
   check_bool "xed bounded" true (xed <= 1.0 +. 1e-9)
@@ -50,11 +50,11 @@ let test_study_state_fidelity_noiseless () =
     (fun e ->
       List.iter
         (fun ty -> Device.Calibration.set_twoq_error cal e ty 1e-6)
-        (Compiler.Isa.gate_types Compiler.Isa.g2))
+        (Isa.Set.gate_types Isa.Set.g2))
     (Device.Topology.edges topology);
   let circuit = Apps.Qft.circuit 3 in
   let v, _, _ =
-    Core.Study.evaluate_circuit ~options:tiny_options ~cal ~isa:Compiler.Isa.g2
+    Core.Study.evaluate_circuit ~options:tiny_options ~cal ~isa:Isa.Set.g2
       ~metric:Core.Study.State_fidelity circuit
   in
   check_bool "near 1" true (v > 0.99)
@@ -70,9 +70,9 @@ let test_multi_gate_sets_not_worse () =
        ~metric:Core.Study.Xed circuits)
       .Core.Study.mean_metric
   in
-  let r1 = eval Compiler.Isa.r1 in
-  let s3 = eval Compiler.Isa.s3 in
-  let s4 = eval Compiler.Isa.s4 in
+  let r1 = eval Isa.Set.r1 in
+  let s3 = eval Isa.Set.s3 in
+  let s4 = eval Isa.Set.s4 in
   check_bool "r1 >= min(s3, s4)" true (r1 >= Float.min s3 s4 -. 0.05)
 
 let test_swap_native_instruction_reduction () =
@@ -86,7 +86,7 @@ let test_swap_native_instruction_reduction () =
        ~metric:Core.Study.Hop circuits)
       .Core.Study.mean_twoq
   in
-  check_bool "r5 < r4 gates" true (gates Compiler.Isa.r5 < gates Compiler.Isa.r4)
+  check_bool "r5 < r4 gates" true (gates Isa.Set.r5 < gates Isa.Set.r4)
 
 (* ---------- document model ---------- *)
 
@@ -125,11 +125,12 @@ let test_json_escapes () =
   check_bool "roundtrip" true (Core.Json.of_string (Core.Json.to_string j) = j)
 
 let test_registry_complete () =
-  Alcotest.(check int) "14 experiments" 14 (List.length Core.Registry.all);
+  Alcotest.(check int) "15 experiments" 15 (List.length Core.Registry.all);
   check_bool "names unique" true
     (List.length (List.sort_uniq compare Core.Registry.names)
     = List.length Core.Registry.names);
   check_bool "find fig9" true (Option.is_some (Core.Registry.find "fig9"));
+  check_bool "find design" true (Option.is_some (Core.Registry.find "design"));
   check_bool "find unknown" true (Option.is_none (Core.Registry.find "fig99"))
 
 (* ---------- parallel evaluation ---------- *)
@@ -157,7 +158,7 @@ let test_evaluate_suite_pool_invariant () =
   let eval domains =
     Decompose.Cache.clear ();
     Core.Study.evaluate_suite ~options:tiny_options ~domains ~cal
-      ~isa:Compiler.Isa.g2 ~metric:Core.Study.Hop circuits
+      ~isa:Isa.Set.g2 ~metric:Core.Study.Hop circuits
   in
   let seq = eval 1 in
   List.iter

@@ -135,8 +135,8 @@ let test_cphase_family_su4_needs_more () =
   check_bool ">= 3 gates" true (d.Decompose.Nuop.layers >= 3)
 
 let test_full_cphase_isa () =
-  check_bool "registered" true (Compiler.Isa.find "Full_CZphi" <> None);
-  check_bool "continuous" true (Compiler.Isa.is_continuous Compiler.Isa.full_cphase)
+  check_bool "registered" true (Isa.Set.find "Full_CZphi" <> None);
+  check_bool "continuous" true (Isa.Set.is_continuous Isa.Set.full_cphase)
 
 (* ---------- Drift ---------- *)
 

@@ -188,7 +188,7 @@ let test_compiled_gates_respect_isa_matrices () =
   (* every two-qubit gate the pipeline emits must exactly equal one of
      the ISA's calibrated unitaries *)
   let cal = Device.Sycamore.line_device 4 in
-  let isa = Compiler.Isa.g3 in
+  let isa = Isa.Set.g3 in
   let rng = Rng.create 21 in
   let circuit = Apps.Qv.circuit rng 3 in
   let compiled =
@@ -201,7 +201,7 @@ let test_compiled_gates_respect_isa_matrices () =
       ~cal ~isa circuit
   in
   let unitaries =
-    List.map (fun ty -> Gates.Gate_type.instantiate ty [||]) (Compiler.Isa.gate_types isa)
+    List.map (fun ty -> Gates.Gate_type.instantiate ty [||]) (Isa.Set.gate_types isa)
   in
   Qcir.Circuit.iter
     (fun instr ->

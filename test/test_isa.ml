@@ -1,0 +1,265 @@
+(* The ISA subsystem: Set lookup/validation, topology-aware Cost,
+   the shared Score, Search + Pareto frontier — including the paper's
+   headline acceptance check (a searched 4-8-type set within 10% of
+   Full_fSim's expressivity at >= 50x fewer calibration circuits) and
+   the repo-wide guard that nothing computes expressivity outside
+   Isa.Score. *)
+
+open Linalg
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_nuop =
+  {
+    Decompose.Nuop.default_options with
+    starts = 2;
+    max_layers = 3;
+    bfgs = { Optimize.Bfgs.default_options with max_iter = 100 };
+  }
+
+let small_samples seed =
+  let rng = Rng.create seed in
+  [ ("QV", List.init 3 (fun _ -> Apps.Qv.random_unitary rng)) ]
+
+(* ---------- Set ---------- *)
+
+let test_make_rejects_empty () =
+  Alcotest.check_raises "empty set"
+    (Invalid_argument
+       "Isa.Set.make: \"Empty\" has no gate types (every set needs at least one)")
+    (fun () -> ignore (Isa.Set.make "Empty" []))
+
+let test_find_case_insensitive () =
+  let name_of o = Option.map Isa.Set.name o in
+  Alcotest.(check (option string)) "g7 finds G7" (Some "G7") (name_of (Isa.Set.find "g7"));
+  Alcotest.(check (option string)) "G7 finds G7" (Some "G7") (name_of (Isa.Set.find "G7"));
+  Alcotest.(check (option string))
+    "full_fsim finds Full_fSim" (Some "Full_fSim")
+    (name_of (Isa.Set.find "full_fsim"));
+  Alcotest.(check (option string)) "unknown misses" None (name_of (Isa.Set.find "G99"))
+
+let test_find_exn_lists_names () =
+  check_bool "find_exn hit" true (Isa.Set.name (Isa.Set.find_exn "r5") = "R5");
+  match Isa.Set.find_exn "nope" with
+  | exception Invalid_argument msg ->
+    check_bool "message names the miss" true
+      (String.length msg > 0
+      && Astring.String.is_infix ~affix:"nope" msg
+      && Astring.String.is_infix ~affix:"G7" msg
+      && Astring.String.is_infix ~affix:"Full_fSim" msg)
+  | _ -> Alcotest.fail "find_exn should raise on unknown names"
+
+let test_compiler_alias () =
+  (* the deprecated Compiler.Isa alias is the same module as Isa.Set *)
+  check_bool "alias g2" true (Isa.Set.name Compiler.Isa.g2 = "G2");
+  check_int "alias size" 8 (Compiler.Isa.size Isa.Set.g7)
+
+(* ---------- Cost ---------- *)
+
+let test_effective_types () =
+  check_int "G7" 8 (Isa.Cost.effective_types Isa.Set.g7);
+  check_int "R5" 6 (Isa.Cost.effective_types Isa.Set.r5);
+  check_int "Full_fSim" Calibration.Model.continuous_family_types
+    (Isa.Cost.effective_types Isa.Set.full_fsim)
+
+let test_grid_topology_matches_model () =
+  List.iter
+    (fun n ->
+      check_int
+        (Printf.sprintf "edges at %d qubits" n)
+        (Calibration.Model.grid_pairs n)
+        (Device.Topology.edge_count (Isa.Cost.grid_topology n)))
+    [ 2; 4; 9; 12; 54; 100; 1000 ]
+
+let test_cost_backcompat () =
+  let m = Calibration.Model.default in
+  let c = Isa.Cost.grid ~n_qubits:54 Isa.Set.g7 in
+  check_int "circuits" (Calibration.Model.total_circuits m ~n_pairs:(Calibration.Model.grid_pairs 54) ~n_types:8)
+    c.Isa.Cost.circuits;
+  check_int "batches on the 54q grid" 4 c.Isa.Cost.batches;
+  Alcotest.(check (float 1e-9)) "hours"
+    (Calibration.Model.time_hours_parallel m ~n_types:8)
+    c.Isa.Cost.hours_parallel
+
+(* ---------- Score ---------- *)
+
+let test_score_basics () =
+  Decompose.Cache.clear ();
+  let samples = small_samples 5 in
+  let s = Isa.Score.score ~options:small_nuop ~samples Isa.Set.s3 in
+  check_bool "layers positive" true (s.Isa.Score.mean_layers >= 1.0);
+  check_bool "fidelity in (0,1]" true
+    (s.Isa.Score.mean_fidelity > 0.0 && s.Isa.Score.mean_fidelity <= 1.0);
+  check_bool "per-app covers QV" true
+    (List.exists (fun a -> a.Isa.Score.app = "QV") s.Isa.Score.per_app);
+  (* score = of_table over the set's own types *)
+  let tbl =
+    Isa.Score.table ~options:small_nuop ~samples (Isa.Set.gate_types Isa.Set.s3)
+  in
+  check_bool "of_table agrees" true (Isa.Score.of_table tbl Isa.Set.s3 = s);
+  (* a superset can only improve both numbers *)
+  let g2 = Isa.Score.score ~options:small_nuop ~samples Isa.Set.g2 in
+  check_bool "superset layers" true (g2.Isa.Score.mean_layers <= s.Isa.Score.mean_layers);
+  check_bool "superset fidelity" true
+    (g2.Isa.Score.mean_fidelity >= s.Isa.Score.mean_fidelity)
+
+let test_stats_for_type () =
+  Decompose.Cache.clear ();
+  let samples = List.assoc "QV" (small_samples 6) in
+  let st =
+    Isa.Score.stats_for_type ~options:small_nuop
+      ~mode:(`Exact Isa.Score.default_threshold) Gates.Gate_type.s3 samples
+  in
+  Alcotest.(check (float 1e-12))
+    "mean_layers_for_type is the exact mode" st.Isa.Score.layers
+    (Isa.Score.mean_layers_for_type ~options:small_nuop Gates.Gate_type.s3 samples);
+  check_bool "error small but nonnegative" true (st.Isa.Score.error >= 0.0)
+
+(* ---------- Search / Pareto ---------- *)
+
+let test_pareto_by () =
+  let pts = [ (1.0, 5.0); (2.0, 4.0); (0.5, 5.0); (3.0, 6.0) ] in
+  let front = Isa.Search.pareto_by ~cost:fst ~value:snd pts in
+  check_bool "dominated dropped" true
+    (List.sort compare front = [ (0.5, 5.0); (3.0, 6.0) ]);
+  (* a single point is its own frontier *)
+  check_bool "singleton" true (Isa.Search.pareto_by ~cost:fst ~value:snd [ (1.0, 1.0) ] = [ (1.0, 1.0) ])
+
+let test_search_smoke () =
+  Decompose.Cache.clear ();
+  let samples = small_samples 7 in
+  let options =
+    { Isa.Search.default_options with nuop = small_nuop; max_types = 2; beam_width = 1 }
+  in
+  let topology = Isa.Cost.grid_topology 54 in
+  let points =
+    Isa.Search.run ~options ~samples ~topology
+      Gates.Gate_type.[ s3; s2; swap_type ]
+  in
+  check_int "one point per size" 2 (List.length points);
+  List.iteri
+    (fun i p ->
+      check_int "set size" (i + 1) (Isa.Set.size p.Isa.Search.set);
+      check_bool "named D<k>" true
+        (Isa.Set.name p.Isa.Search.set = Printf.sprintf "D%d" (i + 1)))
+    points;
+  let fids =
+    List.map (fun p -> p.Isa.Search.score.Isa.Score.mean_fidelity) points
+  in
+  check_bool "fidelity non-decreasing with size" true
+    (List.sort compare fids = fids);
+  check_bool "frontier nonempty" true (Isa.Search.pareto points <> [])
+
+(* The paper's headline, machine-checked: at the default pool and scale a
+   searched 4-8-type set sits within 10% of Full_fSim's expressivity at
+   >= 50x fewer calibration circuits. *)
+let test_design_acceptance () =
+  Decompose.Cache.clear ();
+  let rng = Rng.create 2021 in
+  let samples =
+    Isa.Score.samples
+      ~counts:Apps.Su4_unitaries.[ (Qv, 6); (Qaoa, 6); (Qft, 4); (Fh, 4); (Swap, 1) ]
+      rng
+  in
+  let nuop = { Decompose.Nuop.default_options with starts = 2; max_layers = 4 } in
+  let options = { Isa.Search.default_options with nuop } in
+  let topology = Isa.Cost.grid_topology 54 in
+  let points =
+    Isa.Search.run ~options ~samples ~topology (Isa.Search.default_pool ())
+  in
+  let frontier = Isa.Search.pareto points in
+  let fsim_score = Isa.Score.score ~options:nuop ~samples Isa.Set.full_fsim in
+  let fsim_cost = Isa.Cost.on ~topology Isa.Set.full_fsim in
+  let witness =
+    List.find_opt
+      (fun p ->
+        let k = Isa.Set.size p.Isa.Search.set in
+        k >= 4 && k <= 8
+        && p.Isa.Search.score.Isa.Score.mean_fidelity
+           >= 0.9 *. fsim_score.Isa.Score.mean_fidelity
+        && fsim_cost.Isa.Cost.circuits >= 50 * p.Isa.Search.cost.Isa.Cost.circuits)
+      frontier
+  in
+  check_bool
+    "a 4-8-type frontier set is within 10% of Full_fSim at >= 50x fewer circuits"
+    true (Option.is_some witness)
+
+(* ---------- repo-wide invariant: expressivity only via Isa.Score ----------
+
+   A file that both samples application unitaries (Su4_unitaries) and
+   decomposes them through the cache (Decompose.Cache) is re-growing a
+   private expressivity scorer; everything outside lib/isa must go
+   through Isa.Score instead.  Sources are scanned as copied into
+   _build next to this test's cwd. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let ml_files dir =
+  match Sys.is_directory dir with
+  | true ->
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ml")
+    |> List.map (Filename.concat dir)
+  | false | (exception Sys_error _) -> []
+
+let test_no_expressivity_outside_isa () =
+  let dirs =
+    [
+      "../lib/core"; "../lib/compiler"; "../lib/calibration"; "../lib/apps";
+      "../examples"; "../bench"; "../bin";
+    ]
+  in
+  let files = List.concat_map ml_files dirs in
+  check_bool "scanned a real source tree" true (List.length files > 10);
+  let offenders =
+    List.filter
+      (fun f ->
+        let s = read_file f in
+        Astring.String.is_infix ~affix:"Su4_unitaries" s
+        && Astring.String.is_infix ~affix:"Decompose.Cache" s)
+      files
+  in
+  Alcotest.(check (list string)) "no private expressivity scorers" [] offenders
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "set",
+        [
+          Alcotest.test_case "make rejects empty" `Quick test_make_rejects_empty;
+          Alcotest.test_case "find is case-insensitive" `Quick test_find_case_insensitive;
+          Alcotest.test_case "find_exn lists known names" `Quick test_find_exn_lists_names;
+          Alcotest.test_case "Compiler.Isa alias" `Quick test_compiler_alias;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "effective types" `Quick test_effective_types;
+          Alcotest.test_case "grid topology matches the model" `Quick
+            test_grid_topology_matches_model;
+          Alcotest.test_case "back-compat with Calibration.Model" `Quick
+            test_cost_backcompat;
+        ] );
+      ( "score",
+        [
+          Alcotest.test_case "basics" `Quick test_score_basics;
+          Alcotest.test_case "per-type stats" `Quick test_stats_for_type;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "pareto_by" `Quick test_pareto_by;
+          Alcotest.test_case "smoke search" `Quick test_search_smoke;
+          Alcotest.test_case "design acceptance (paper headline)" `Slow
+            test_design_acceptance;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "expressivity only via Isa.Score" `Quick
+            test_no_expressivity_outside_isa;
+        ] );
+    ]
