@@ -193,7 +193,15 @@ let compile_cmd =
   let print_circuit =
     Arg.(value & flag & info [ "print" ] ~doc:"Print the compiled circuit.")
   in
-  let run isa_name app qubits device seed optimize trace print_circuit =
+  let print_schedule =
+    Arg.(
+      value & flag
+      & info [ "schedule" ]
+          ~doc:
+            "Print the timed executable: one row per ASAP moment with start time, \
+             duration (calibrated per gate type) and instructions.")
+  in
+  let run isa_name app qubits device seed optimize trace print_circuit print_schedule =
     let isa = Isa.Set.find_exn isa_name in
 
     let cal =
@@ -226,7 +234,13 @@ let compile_cmd =
       compiled.Compiler.Pipeline.twoq_count compiled.Compiler.Pipeline.swap_count
       (Qcir.Circuit.depth compiled.Compiler.Pipeline.circuit)
       (Array.length compiled.Compiler.Pipeline.qubit_map);
+    Printf.printf "  duration %.1f ns over %d moments, ESP %.4f\n"
+      (1e9 *. compiled.Compiler.Pipeline.duration)
+      compiled.Compiler.Pipeline.critical_depth
+      (Core.Study.esp ~cal compiled);
     if trace then Core.Study.print_pass_metrics metrics;
+    if print_schedule then
+      print_string (Schedule.to_string compiled.Compiler.Pipeline.schedule);
     if print_circuit then Qcir.Printer.print compiled.Compiler.Pipeline.circuit
   in
   Cmd.v
@@ -234,7 +248,7 @@ let compile_cmd =
        ~doc:"Compile a benchmark circuit through the pass manager")
     Term.(
       const run $ isa_arg $ app_arg $ qubits $ device $ seed $ optimize $ trace
-      $ print_circuit)
+      $ print_circuit $ print_schedule)
 
 (* ---------- calibration ---------- *)
 

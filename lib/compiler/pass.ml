@@ -17,7 +17,9 @@
      merge_oneq     any space; fuses adjacent 1Q runs into single U3s
      elide_trivial  any space; drops identity-up-to-phase gates
      compact        device space; renumbers onto the touched qubits,
-                    sets [qubit_map] and [compacted] *)
+                    sets [qubit_map] and [compacted]
+     schedule       any space; attaches the timed executable
+                    (Schedule.t over calibrated durations) to [schedule] *)
 
 open Linalg
 
@@ -49,6 +51,8 @@ module Context = struct
     mutable qubit_map : int array;  (** compact -> device qubit (after compact) *)
     mutable swap_count : int;
     mutable compacted : bool;
+    mutable schedule : Schedule.t option;
+        (** timed executable of [circuit] (set by the schedule pass) *)
   }
 
   let create ?(options = default_options) ~cal ~isa ?placement circuit =
@@ -65,6 +69,7 @@ module Context = struct
       qubit_map = [||];
       swap_count = 0;
       compacted = false;
+      schedule = None;
     }
 
   let placement_exn ctx =
@@ -78,6 +83,35 @@ type t = { name : string; run : Context.t -> unit }
 let make name run = { name; run }
 let name p = p.name
 let run p ctx = p.run ctx
+
+(* ---------- calibrated durations ---------- *)
+
+(* Duration oracle over calibration data: 1Q gates take the device-wide
+   1Q duration, 2Q gates the per-edge per-gate-type duration keyed by
+   the gate's name (family-instantiated gates without a calibrated entry
+   fall back to the device-wide 2Q scalar).  [to_device] maps the
+   circuit's qubit space onto device qubits — identity before
+   compaction, [qubit_map] lookups after. *)
+let calibrated_durations ~cal ~to_device =
+  let d1 = Device.Calibration.duration_1q cal in
+  fun _index instr ->
+    let qs = Qcir.Instr.qubits instr in
+    match Array.length qs with
+    | 1 -> d1
+    | 2 ->
+      let edge = (to_device qs.(0), to_device qs.(1)) in
+      Device.Calibration.twoq_duration_by_name cal edge
+        (Gates.Gate.name (Qcir.Instr.gate instr))
+    | _ -> invalid_arg "Pass.calibrated_durations: gates beyond two qubits unsupported"
+
+let timed_durations (ctx : Context.t) =
+  let to_device =
+    if ctx.Context.compacted then fun q -> ctx.Context.qubit_map.(q) else Fun.id
+  in
+  calibrated_durations ~cal:ctx.Context.cal ~to_device
+
+let timed_schedule ctx =
+  Schedule.of_circuit ~durations:(timed_durations ctx) ctx.Context.circuit
 
 (* ---------- decomposition of one routed 2Q application unitary ---------- *)
 
@@ -169,7 +203,8 @@ let route ?(directional = true) () =
       ctx.circuit <- routed.Router.circuit;
       ctx.errors <- Array.make (Qcir.Circuit.length routed.Router.circuit) 0.0;
       ctx.final_layout <- routed.Router.final_layout;
-      ctx.swap_count <- routed.Router.swap_count)
+      ctx.swap_count <- routed.Router.swap_count;
+      ctx.schedule <- None)
 
 (* ---------- NuOp lowering ---------- *)
 
@@ -209,7 +244,8 @@ let lower =
         ctx.circuit;
       ctx.circuit <-
         Qcir.Circuit.of_instrs (Qcir.Circuit.n_qubits ctx.circuit) (List.rev !rev_instrs);
-      ctx.errors <- Array.of_list (List.rev !rev_errors))
+      ctx.errors <- Array.of_list (List.rev !rev_errors);
+      ctx.schedule <- None)
 
 (* ---------- 1Q-merge peephole ---------- *)
 
@@ -264,7 +300,8 @@ let merge_oneq =
       let open Context in
       let circuit, errors = merge_oneq_rewrite ctx.circuit ctx.errors in
       ctx.circuit <- circuit;
-      ctx.errors <- errors)
+      ctx.errors <- errors;
+      ctx.schedule <- None)
 
 (* ---------- trivial-gate elision ---------- *)
 
@@ -289,7 +326,8 @@ let elide_trivial ?tol () =
       let open Context in
       let circuit, errors = elide_rewrite ?tol ctx.circuit ctx.errors in
       ctx.circuit <- circuit;
-      ctx.errors <- errors)
+      ctx.errors <- errors;
+      ctx.schedule <- None)
 
 (* ---------- qubit compaction ---------- *)
 
@@ -316,16 +354,26 @@ let compact =
           (List.map (Qcir.Instr.map_qubits (Hashtbl.find device_to_compact)) instrs);
       ctx.final_layout <- Array.map (Hashtbl.find device_to_compact) ctx.final_layout;
       ctx.qubit_map <- qubit_map;
-      ctx.compacted <- true)
+      ctx.compacted <- true;
+      ctx.schedule <- None)
+
+(* ---------- scheduling ---------- *)
+
+(* Attach the timed executable to the context.  Runs after [compact] in
+   the built-in stacks so the schedule lives in the same space as the
+   final circuit; legal anywhere (durations map through [qubit_map] only
+   once compaction has recorded it). *)
+let schedule_pass =
+  make "schedule" (fun ctx -> ctx.Context.schedule <- Some (timed_schedule ctx))
 
 (* ---------- stacks ---------- *)
 
-(* The seed pipeline, stage for stage: identical output to the
-   pre-pass-manager Pipeline.compile. *)
-let default_stack = [ placement; route (); lower; compact ]
+(* The seed pipeline, stage for stage — identical circuit output to the
+   pre-pass-manager Pipeline.compile — plus the timing attachment. *)
+let default_stack = [ placement; route (); lower; compact; schedule_pass ]
 
 (* Default stack plus the peephole passes the refactor unlocked. *)
 let optimized_stack =
-  [ placement; route (); lower; merge_oneq; elide_trivial (); compact ]
+  [ placement; route (); lower; merge_oneq; elide_trivial (); compact; schedule_pass ]
 
 let find_in stack n = List.find_opt (fun p -> p.name = n) stack

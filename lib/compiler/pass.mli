@@ -31,6 +31,9 @@ module Context : sig
     mutable qubit_map : int array;  (** compact -> device qubit (after [compact]) *)
     mutable swap_count : int;
     mutable compacted : bool;
+    mutable schedule : Schedule.t option;
+        (** timed executable of [circuit], set by the schedule pass and
+            invalidated by every circuit-mutating pass *)
   }
 
   val create :
@@ -92,6 +95,29 @@ val compact : t
 (** Renumbers the circuit onto the qubits it actually touches, recording
     the compact->device [qubit_map]. *)
 
+val schedule_pass : t
+(** Attaches the timed executable ({!Schedule.t} over calibrated
+    durations, see {!timed_schedule}) to the context.  Last pass of the
+    built-in stacks. *)
+
+(** {2 Calibrated timing} *)
+
+val calibrated_durations :
+  cal:Device.Calibration.t -> to_device:(int -> int) -> int -> Qcir.Instr.t -> float
+(** Duration oracle over calibration data: the device-wide 1Q duration
+    for single-qubit gates, the per-edge per-gate-type duration (keyed by
+    gate name, scalar fallback) for two-qubit gates.  [to_device] maps
+    the circuit's qubit space onto device qubits. *)
+
+val timed_durations : Context.t -> int -> Qcir.Instr.t -> float
+(** {!calibrated_durations} for the context's current circuit space:
+    identity qubit mapping before compaction, [qubit_map] lookups
+    after. *)
+
+val timed_schedule : Context.t -> Schedule.t
+(** ASAP schedule of the context's current circuit under
+    {!timed_durations}. *)
+
 val edge_cost : cal:Device.Calibration.t -> isa:Isa.Set.t -> int * int -> float
 (** Best calibrated error across the set's gate types on an edge (the
     router tie-break). *)
@@ -112,8 +138,9 @@ val elide_rewrite : ?tol:float -> Qcir.Circuit.t -> float array -> Qcir.Circuit.
 (** {2 Stacks} *)
 
 val default_stack : t list
-(** place -> route -> lower -> compact: stage-for-stage the seed
-    pipeline, identical output. *)
+(** place -> route -> lower -> compact -> schedule: stage-for-stage the
+    seed pipeline (identical circuit output) plus the timing
+    attachment. *)
 
 val optimized_stack : t list
 (** [default_stack] plus [merge_oneq] and [elide_trivial] before

@@ -1,6 +1,6 @@
 (* Runs a pass stack over a shared context, recording per-pass metrics:
-   wall time, 1Q/2Q/SWAP/depth deltas, and decomposition-cache hits.
-   The metrics rows feed Core.Report tables and the CLI's
+   wall time, 1Q/2Q/SWAP/depth/duration deltas, and decomposition-cache
+   hits.  The metrics rows feed Core.Report tables and the CLI's
    `compile --trace-passes`. *)
 
 type pass_metrics = {
@@ -14,25 +14,37 @@ type pass_metrics = {
   swaps_after : int;
   depth_before : int;
   depth_after : int;
+  duration_before : float;  (** timed-executable length, seconds *)
+  duration_after : float;
   cache_hits : int;  (** fidelity-curve cache hits during the pass *)
   cache_misses : int;
 }
 
 let snapshot (ctx : Pass.Context.t) =
   let c = ctx.Pass.Context.circuit in
+  let duration =
+    match ctx.Pass.Context.schedule with
+    | Some s -> Schedule.total_duration s
+    | None -> Schedule.total_duration (Pass.timed_schedule ctx)
+  in
   ( Qcir.Circuit.one_qubit_count c,
     Qcir.Circuit.two_qubit_count c,
     ctx.Pass.Context.swap_count,
-    Qcir.Circuit.depth c )
+    Qcir.Circuit.depth c,
+    duration )
 
 let run_pass pass ctx =
-  let oneq_before, twoq_before, swaps_before, depth_before = snapshot ctx in
+  let oneq_before, twoq_before, swaps_before, depth_before, duration_before =
+    snapshot ctx
+  in
   let hits0, misses0 = Decompose.Cache.stats () in
   let t0 = Sys.time () in
   Pass.run pass ctx;
   let time_s = Sys.time () -. t0 in
   let hits1, misses1 = Decompose.Cache.stats () in
-  let oneq_after, twoq_after, swaps_after, depth_after = snapshot ctx in
+  let oneq_after, twoq_after, swaps_after, depth_after, duration_after =
+    snapshot ctx
+  in
   {
     pass_name = Pass.name pass;
     time_s;
@@ -44,6 +56,8 @@ let run_pass pass ctx =
     swaps_after;
     depth_before;
     depth_after;
+    duration_before;
+    duration_after;
     cache_hits = hits1 - hits0;
     cache_misses = misses1 - misses0;
   }
@@ -54,11 +68,18 @@ let total_time metrics = List.fold_left (fun acc m -> acc +. m.time_s) 0.0 metri
 
 (* ---------- rendering (header + rows for Core.Report.table) ---------- *)
 
-let header = [ "pass"; "time"; "1Q"; "2Q"; "SWAPs"; "depth"; "cache h/m" ]
+let header = [ "pass"; "time"; "1Q"; "2Q"; "SWAPs"; "depth"; "duration"; "cache h/m" ]
 
 let delta_cell after before =
   if after = before then string_of_int after
   else Printf.sprintf "%d (%+d)" after (after - before)
+
+(* Durations render in nanoseconds — the scale of every calibrated gate
+   time — with the delta when a pass changed the critical path. *)
+let duration_cell after before =
+  let ns v = Printf.sprintf "%.0f ns" (1e9 *. v) in
+  if Float.abs (after -. before) <= 1e-12 then ns after
+  else Printf.sprintf "%s (%+.0f)" (ns after) (1e9 *. (after -. before))
 
 let row m =
   [
@@ -68,6 +89,7 @@ let row m =
     delta_cell m.twoq_after m.twoq_before;
     delta_cell m.swaps_after m.swaps_before;
     delta_cell m.depth_after m.depth_before;
+    duration_cell m.duration_after m.duration_before;
     Printf.sprintf "%d/%d" m.cache_hits m.cache_misses;
   ]
 
@@ -76,7 +98,7 @@ let rows metrics = List.map row metrics
 let pp ppf metrics =
   List.iter
     (fun m ->
-      Fmt.pf ppf "%-10s %8.1f ms  1Q %4d  2Q %4d  depth %4d  cache %d/%d@."
+      Fmt.pf ppf "%-10s %8.1f ms  1Q %4d  2Q %4d  depth %4d  dur %6.0f ns  cache %d/%d@."
         m.pass_name (1000.0 *. m.time_s) m.oneq_after m.twoq_after m.depth_after
-        m.cache_hits m.cache_misses)
+        (1e9 *. m.duration_after) m.cache_hits m.cache_misses)
     metrics

@@ -13,6 +13,8 @@ type pass_metrics = {
   swaps_after : int;
   depth_before : int;
   depth_after : int;
+  duration_before : float;  (** timed-executable length before the pass, s *)
+  duration_after : float;
   cache_hits : int;
   cache_misses : int;
 }

@@ -25,6 +25,9 @@ type compiled = {
   swap_count : int;
   twoq_count : int;
   isa : Isa.Set.t;
+  schedule : Schedule.t;  (** timed executable over calibrated durations *)
+  duration : float;  (** [Schedule.total_duration schedule], seconds *)
+  critical_depth : int;  (** [Schedule.depth schedule]: moment count *)
 }
 
 let decompose_on_edge = Pass.decompose_on_edge
@@ -32,7 +35,11 @@ let decompose_on_edge = Pass.decompose_on_edge
 let compiled_of_context (ctx : Pass.Context.t) =
   let open Pass.Context in
   if not ctx.compacted then
-    invalid_arg "Pipeline: the pass stack must end with the compact pass";
+    invalid_arg "Pipeline: the pass stack must include the compact pass";
+  (* stacks without the schedule pass still yield a timed executable *)
+  let schedule =
+    match ctx.schedule with Some s -> s | None -> Pass.timed_schedule ctx
+  in
   {
     circuit = ctx.circuit;
     twoq_errors = ctx.errors;
@@ -42,6 +49,9 @@ let compiled_of_context (ctx : Pass.Context.t) =
     swap_count = ctx.swap_count;
     twoq_count = Qcir.Circuit.two_qubit_count ctx.circuit;
     isa = ctx.isa;
+    schedule;
+    duration = Schedule.total_duration schedule;
+    critical_depth = Schedule.depth schedule;
   }
 
 let compile_with_metrics ?(options = default_options) ?(stack = Pass.default_stack)
@@ -111,6 +121,10 @@ let compile_reference ?(options = default_options) ~cal ~isa ?placement circuit 
   let final_layout =
     Array.map (Hashtbl.find device_to_compact) routed.Router.final_layout
   in
+  let schedule =
+    Schedule.of_circuit compact_circuit
+      ~durations:(Pass.calibrated_durations ~cal ~to_device:(fun q -> qubit_map.(q)))
+  in
   {
     circuit = compact_circuit;
     twoq_errors = Array.of_list errors;
@@ -120,6 +134,9 @@ let compile_reference ?(options = default_options) ~cal ~isa ?placement circuit 
     swap_count = routed.Router.swap_count;
     twoq_count = !twoq_count;
     isa;
+    schedule;
+    duration = Schedule.total_duration schedule;
+    critical_depth = Schedule.depth schedule;
   }
 
 let noise_model ~cal compiled =

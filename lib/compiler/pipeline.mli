@@ -20,6 +20,11 @@ type compiled = {
   swap_count : int;
   twoq_count : int;
   isa : Isa.Set.t;
+  schedule : Schedule.t;
+      (** timed executable of [circuit] over calibrated per-gate-type
+          durations (compact space, like the circuit) *)
+  duration : float;  (** [Schedule.total_duration schedule], seconds *)
+  critical_depth : int;  (** [Schedule.depth schedule]: moment count *)
 }
 
 val decompose_on_edge :

@@ -199,7 +199,7 @@ let ablation_pass_stack b cfg rng =
   let plain = eval Compiler.Pass.default_stack in
   let opt = eval Compiler.Pass.optimized_stack in
   Report.Builder.table b
-    ~header:[ "stack"; "QAOA XED"; "2Q gates"; "SWAPs" ]
+    ~header:[ "stack"; "QAOA XED"; "2Q gates"; "SWAPs"; "dur (ns)"; "ESP" ]
     [
       "default (no peepholes)" :: List.tl (Study.result_row plain);
       "+ 1Q-merge + trivial elision" :: List.tl (Study.result_row opt);

@@ -19,9 +19,31 @@ type result = {
   mean_metric : float;
   mean_twoq : float;  (** mean hardware two-qubit gates per circuit *)
   mean_swaps : float;
+  mean_duration : float;  (** mean timed-executable length, seconds *)
+  mean_esp : float;  (** mean analytic estimated success probability *)
 }
 
-(* Evaluate one circuit; returns (metric value, 2q count, swaps). *)
+type evaluation = {
+  value : float;
+  twoq : int;
+  swaps : int;
+  duration : float;
+  esp : float;
+}
+
+(* Analytic ESP of a compiled executable: Metrics.Esp over the compiled
+   schedule, with calibration data mapped into the compact space. *)
+let esp ~cal (compiled : Compiler.Pipeline.compiled) =
+  let dev q = compiled.Compiler.Pipeline.qubit_map.(q) in
+  (Metrics.Esp.estimate ~twoq_errors:compiled.Compiler.Pipeline.twoq_errors
+     ~oneq_error:(fun q -> Device.Calibration.oneq_error cal (dev q))
+     ~readout_error:(fun q -> Device.Calibration.readout_error cal (dev q))
+     ~t1:(fun q -> Device.Calibration.t1 cal (dev q))
+     ~t2:(fun q -> Device.Calibration.t2 cal (dev q))
+     compiled.Compiler.Pipeline.schedule)
+    .Metrics.Esp.esp
+
+(* Evaluate one circuit. *)
 let evaluate_circuit ?(options = Compiler.Pipeline.default_options)
     ?(stack = Compiler.Pass.default_stack) ~cal ~isa ~metric circuit =
   let n = Qcir.Circuit.n_qubits circuit in
@@ -59,7 +81,13 @@ let evaluate_circuit ?(options = Compiler.Pipeline.default_options)
       let rho = Sim.Noisy.run nm compiled.circuit in
       Sim.Density.fidelity_with_pure rho ideal_state
   in
-  (value, compiled.twoq_count, compiled.swap_count)
+  {
+    value;
+    twoq = compiled.twoq_count;
+    swaps = compiled.swap_count;
+    duration = compiled.duration;
+    esp = esp ~cal compiled;
+  }
 
 (* The per-circuit evaluations are independent (the only shared mutable
    state on the path is Decompose.Cache, which is domain-safe), so they
@@ -74,22 +102,33 @@ let evaluate_suite ?options ?stack ?domains ~cal ~isa ~metric circuits =
       (fun circuit -> evaluate_circuit ?options ?stack ~cal ~isa ~metric circuit)
       circuits
   in
-  let sum_m, sum_g, sum_s =
+  let sum_m, sum_g, sum_s, sum_d, sum_e =
     List.fold_left
-      (fun (sm, sg, ss) (m, g, s) -> (sm +. m, sg + g, ss + s))
-      (0.0, 0, 0) evaluations
+      (fun (sm, sg, ss, sd, se) e ->
+        (sm +. e.value, sg + e.twoq, ss + e.swaps, sd +. e.duration, se +. e.esp))
+      (0.0, 0, 0, 0.0, 0.0) evaluations
   in
   {
     isa_name = Isa.Set.name isa;
     mean_metric = sum_m /. n;
     mean_twoq = float_of_int sum_g /. n;
     mean_swaps = float_of_int sum_s /. n;
+    mean_duration = sum_d /. n;
+    mean_esp = sum_e /. n;
   }
 
 let result_row r =
-  [ r.isa_name; Report.f4 r.mean_metric; Report.f2 r.mean_twoq; Report.f2 r.mean_swaps ]
+  [
+    r.isa_name;
+    Report.f4 r.mean_metric;
+    Report.f2 r.mean_twoq;
+    Report.f2 r.mean_swaps;
+    Printf.sprintf "%.1f" (1e9 *. r.mean_duration);
+    Report.f4 r.mean_esp;
+  ]
 
-let results_header ~metric = [ "ISA"; metric_name metric; "2Q gates"; "SWAPs" ]
+let results_header ~metric =
+  [ "ISA"; metric_name metric; "2Q gates"; "SWAPs"; "dur (ns)"; "ESP" ]
 
 let results_table ~metric results =
   Report.Table { header = results_header ~metric; rows = List.map result_row results }

@@ -9,7 +9,22 @@ type result = {
   mean_metric : float;
   mean_twoq : float;
   mean_swaps : float;
+  mean_duration : float;  (** mean timed-executable length, seconds *)
+  mean_esp : float;  (** mean analytic estimated success probability *)
 }
+
+type evaluation = {
+  value : float;  (** the metric *)
+  twoq : int;  (** hardware two-qubit gate count *)
+  swaps : int;
+  duration : float;  (** timed-executable length, seconds *)
+  esp : float;  (** analytic estimated success probability *)
+}
+
+val esp : cal:Device.Calibration.t -> Compiler.Pipeline.compiled -> float
+(** {!Metrics.Esp.estimate} over the compiled schedule with the device's
+    calibration data (readout excluded, matching density-sim state
+    fidelities). *)
 
 val evaluate_circuit :
   ?options:Compiler.Pipeline.options ->
@@ -18,9 +33,10 @@ val evaluate_circuit :
   isa:Isa.Set.t ->
   metric:metric ->
   Qcir.Circuit.t ->
-  float * int * int
-(** (metric value, two-qubit gate count, swap count) for one circuit,
-    compiled through [stack] (default {!Compiler.Pass.default_stack}). *)
+  evaluation
+(** Metric value plus gate/SWAP counts, duration and ESP for one
+    circuit, compiled through [stack] (default
+    {!Compiler.Pass.default_stack}). *)
 
 val evaluate_suite :
   ?options:Compiler.Pipeline.options ->

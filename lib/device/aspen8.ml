@@ -41,6 +41,29 @@ let is_xy_pi ty = String.equal (Gate_type.name ty) "XY(pi)"
 let default_types =
   Gate_type.[ s2; s3; s4; s5; s6; swap_type; xy_pi ]
 
+(* Per-type gate durations (seconds).  Rigetti's parametric gates run an
+   order of magnitude slower than Sycamore's: CZ holds the full 180 ns
+   flux pulse, XY(theta) entanglers scale with the exchange angle, and a
+   SWAP costs three CZ pulses.  Types not listed fall back to the 180 ns
+   device scalar. *)
+let type_durations =
+  Gate_type.
+    [
+      (s2, 130e-9);  (* sqrt(iSWAP) = XY(pi/2) *)
+      (s3, 180e-9);  (* CZ *)
+      (s4, 160e-9);  (* iSWAP = XY(pi) at full exchange *)
+      (s5, 140e-9);  (* fSim(pi/3, 0) *)
+      (s6, 150e-9);  (* fSim(3pi/8, 0) *)
+      (swap_type, 540e-9);  (* 3x CZ *)
+      (xy_pi, 160e-9);
+    ]
+
+let set_durations cal edges =
+  List.iter
+    (fun (ty, dur) ->
+      List.iter (fun e -> Calibration.set_twoq_duration cal e ty dur) edges)
+    type_durations
+
 let ring_device ?(seed = 11) ?(types = default_types) () =
   let topology = Topology.ring n_ring in
   let rng = Linalg.Rng.create seed in
@@ -87,6 +110,7 @@ let ring_device ?(seed = 11) ?(types = default_types) () =
           Calibration.set_twoq_error cal e ty err)
         edges)
     types;
+  set_durations cal edges;
   cal
 
 let fidelity_table () =

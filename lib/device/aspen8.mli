@@ -16,6 +16,11 @@ val default_types : Gates.Gate_type.t list
 (** Gate types populated by default: the XY-family members of Table II's
     R-sets plus CZ, SWAP, XY(pi). *)
 
+val type_durations : (Gates.Gate_type.t * float) list
+(** Per-type gate durations (seconds) written into every device
+    instance; CZ holds the full 180 ns flux pulse, SWAP costs three.
+    Types not listed fall back to the 180 ns device scalar. *)
+
 val ring_device : ?seed:int -> ?types:Gates.Gate_type.t list -> unit -> Calibration.t
 
 val fidelity_table : unit -> ((int * int) * float * float) list

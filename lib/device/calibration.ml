@@ -13,8 +13,12 @@ type t = {
   t1 : float array;  (** seconds *)
   t2 : float array;  (** seconds *)
   duration_1q : float;  (** seconds *)
-  duration_2q : float;  (** seconds *)
+  duration_2q : float;  (** seconds; the default when a type has no entry *)
   twoq_error : (int * int * string, float) Hashtbl.t;
+  twoq_duration : (int * int * string, float) Hashtbl.t;
+      (** measured per-edge, per-gate-type durations (keyed like
+          [twoq_error]); [duration_2q] is the backward-compatible
+          fallback for types without an entry *)
   family_error : (int * int) -> float array -> float;
       (** error rate when a continuous-family gate at the given angles is
           used on an edge *)
@@ -38,6 +42,7 @@ let make ~topology ~oneq_error ~readout_error ~t1 ~t2 ~duration_1q ~duration_2q
     duration_1q;
     duration_2q;
     twoq_error = Hashtbl.create 64;
+    twoq_duration = Hashtbl.create 64;
     family_error;
     family_error_scale;
   }
@@ -72,6 +77,28 @@ let family_angle_error t edge angles =
 
 let twoq_fidelity t edge gate_type = 1.0 -. twoq_error t edge gate_type
 
+(* ---------- per-type gate durations ---------- *)
+
+let set_twoq_duration t edge gate_type dur =
+  let a, b = Topology.canonical edge in
+  if not (dur > 0.0) then invalid_arg "Calibration.set_twoq_duration: need dur > 0";
+  Hashtbl.replace t.twoq_duration (a, b, Gates.Gate_type.name gate_type) dur
+
+let twoq_duration_by_name t edge name =
+  let a, b = Topology.canonical edge in
+  match Hashtbl.find_opt t.twoq_duration (a, b, name) with
+  | Some d -> d
+  | None -> t.duration_2q
+
+let twoq_duration t edge gate_type =
+  twoq_duration_by_name t edge (Gates.Gate_type.name gate_type)
+
+let mean_twoq_duration t gate_type =
+  let ds = List.map (fun e -> twoq_duration t e gate_type) (Topology.edges t.topology) in
+  match ds with
+  | [] -> t.duration_2q
+  | _ -> List.fold_left ( +. ) 0.0 ds /. float_of_int (List.length ds)
+
 let oneq_error t q = t.oneq_error.(q)
 let oneq_fidelity t q = 1.0 -. t.oneq_error.(q)
 let readout_error t q = t.readout_error.(q)
@@ -82,14 +109,17 @@ let duration_2q t = t.duration_2q
 
 let with_family_error_scale t scale = { t with family_error_scale = scale }
 
-(* Uniformly rescale every stored error rate (used for the Fig 7 / Fig 10f
-   error-rate sweeps). *)
+(* Uniformly rescale every stored error rate — 1Q, 2Q, family AND
+   readout (used for the Fig 7 / Fig 10f error-rate sweeps).  Durations
+   and coherence times are timing, not error rates, and stay put. *)
 let with_error_scale t scale =
   let copy =
     {
       t with
       twoq_error = Hashtbl.copy t.twoq_error;
+      twoq_duration = Hashtbl.copy t.twoq_duration;
       oneq_error = Array.map (fun e -> clamp_error (e *. scale)) t.oneq_error;
+      readout_error = Array.map (fun e -> clamp_error (e *. scale)) t.readout_error;
       family_error = (fun e a -> t.family_error e a *. scale);
     }
   in

@@ -33,6 +33,23 @@ val family_angle_error : t -> int * int -> float array -> float
 (** Error rate for a continuous-family gate at specific angles. *)
 
 val twoq_fidelity : t -> int * int -> Gates.Gate_type.t -> float
+
+val set_twoq_duration : t -> int * int -> Gates.Gate_type.t -> float -> unit
+(** Record the measured duration (seconds) of a gate type on an edge.
+    Raises [Invalid_argument] unless the duration is positive. *)
+
+val twoq_duration : t -> int * int -> Gates.Gate_type.t -> float
+(** Duration of a gate type on an edge; falls back to the device-wide
+    [duration_2q] scalar when the type has no entry (the pre-refactor
+    behaviour). *)
+
+val twoq_duration_by_name : t -> int * int -> string -> float
+(** Same lookup keyed by gate name — the form compiled instructions use
+    (their gates carry names, not {!Gates.Gate_type.t} values). *)
+
+val mean_twoq_duration : t -> Gates.Gate_type.t -> float
+(** Mean duration of a type across the device's edges. *)
+
 val oneq_error : t -> int -> float
 val oneq_fidelity : t -> int -> float
 val readout_error : t -> int -> float
@@ -46,7 +63,9 @@ val with_family_error_scale : t -> float -> t
     paper's Full_fSim 1x/1.5x/2x/2.5x study. *)
 
 val with_error_scale : t -> float -> t
-(** Rescale every error rate (error-rate sweep experiments). *)
+(** Rescale every error rate — 1Q, 2Q, continuous-family and readout
+    alike (error-rate sweep experiments).  Durations and T1/T2 are
+    timing data, not error rates, and are left untouched. *)
 
 val map_twoq_errors : t -> ((int * int) -> string -> float -> float) -> unit
 (** In-place transform of every stored fixed-type error rate (clamped);

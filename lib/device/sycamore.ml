@@ -28,6 +28,31 @@ let readout_error_rate = 3e-2
 let default_types =
   Gate_type.[ s1; s2; s3; s4; s5; s6; s7; swap_type ]
 
+(* Per-type gate durations (seconds), uniform across edges.  The SYC
+   gate is the device's fastest native two-qubit interaction (~12 ns on
+   hardware); partial-iSWAP types scale with their swap angle, CZ-like
+   types with the hold time of the conditional phase, and a full SWAP
+   costs three native interactions.  Types not listed fall back to the
+   32 ns device scalar. *)
+let type_durations =
+  Gate_type.
+    [
+      (s1, 12e-9);  (* SYC = fSim(pi/2, pi/6) *)
+      (s2, 23e-9);  (* sqrt(iSWAP) *)
+      (s3, 26e-9);  (* CZ *)
+      (s4, 32e-9);  (* iSWAP *)
+      (s5, 27e-9);  (* fSim(pi/3, 0) *)
+      (s6, 29e-9);  (* fSim(3pi/8, 0) *)
+      (s7, 21e-9);  (* fSim(pi/6, pi) *)
+      (swap_type, 78e-9);  (* 3x CZ *)
+    ]
+
+let set_durations cal edges =
+  List.iter
+    (fun (ty, dur) ->
+      List.iter (fun e -> Calibration.set_twoq_duration cal e ty dur) edges)
+    type_durations
+
 let sample_error ?(mu = err_mu) ?(sigma = err_sigma) rng =
   let e = Linalg.Rng.gaussian_mu_sigma rng ~mu ~sigma in
   Float.max err_min (Float.min err_max e)
@@ -66,6 +91,7 @@ let device ?(seed = 23) ?(vary = true) ?(types = default_types)
           Calibration.set_twoq_error cal e ty err)
         edges)
     types;
+  set_durations cal edges;
   cal
 
 (* A small sub-device for the 3-6 qubit benchmarks: first [k] qubits of a
@@ -102,4 +128,5 @@ let line_device ?(seed = 23) ?(vary = true) ?(types = default_types)
           Calibration.set_twoq_error cal e ty err)
         edges)
     types;
+  set_durations cal edges;
   cal

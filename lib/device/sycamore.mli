@@ -20,6 +20,11 @@ val readout_error_rate : float
 val default_types : Gates.Gate_type.t list
 (** S1-S7 plus SWAP (Table II's Google sets). *)
 
+val type_durations : (Gates.Gate_type.t * float) list
+(** Per-type gate durations (seconds) written into every device
+    instance: SYC at 12 ns up to SWAP at 78 ns (3x CZ).  Types not
+    listed fall back to the 32 ns device scalar. *)
+
 val device :
   ?seed:int ->
   ?vary:bool ->

@@ -78,7 +78,10 @@ let shortest_path t src dst =
           end)
         t.adj.(q)
     done;
-    if not !found then raise Not_found;
+    if not !found then
+      invalid_arg
+        (Printf.sprintf
+           "Topology.shortest_path: qubits %d and %d are not connected" src dst);
     let rec walk acc q = if q = src then src :: acc else walk (q :: acc) prev.(q) in
     walk [] dst
   end

@@ -20,9 +20,14 @@ val line : int -> t
 val grid : int -> int -> t
 
 val shortest_path : t -> int -> int -> int list
-(** Path from src to dst inclusive; raises [Not_found] if disconnected. *)
+(** Path from src to dst inclusive.  Raises [Invalid_argument] naming
+    the qubit pair when the two qubits lie in different connected
+    components. *)
 
 val distance : t -> int -> int -> int
+(** Hop count of {!shortest_path}; raises the same [Invalid_argument] on
+    disconnected pairs. *)
+
 val is_connected : t -> bool
 
 val find_line : t -> int -> int list option

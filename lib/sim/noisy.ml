@@ -75,41 +75,28 @@ let run model circuit =
     circuit;
   rho
 
-(* Schedule-aware execution: instructions are packed into ASAP moments
-   and decoherence acts on EVERY qubit for each moment's duration —
-   idle qubits decay too, as on real hardware.  [run] above is the
-   cheaper acting-qubits-only approximation. *)
-let indexed_moments circuit =
-  let n = Qcir.Circuit.n_qubits circuit in
-  let avail = Array.make n 0 in
-  let buckets : (int * Qcir.Instr.t) list array ref = ref (Array.make 8 []) in
-  let ensure k =
-    if k >= Array.length !buckets then begin
-      let bigger = Array.make (2 * (k + 1)) [] in
-      Array.blit !buckets 0 bigger 0 (Array.length !buckets);
-      buckets := bigger
-    end
-  in
-  let last = ref (-1) in
-  let index = ref 0 in
-  Qcir.Circuit.iter
-    (fun instr ->
-      let qs = Qcir.Instr.qubits instr in
-      let start = Array.fold_left (fun m q -> max m avail.(q)) 0 qs in
-      Array.iter (fun q -> avail.(q) <- start + 1) qs;
-      ensure start;
-      !buckets.(start) <- (!index, instr) :: !buckets.(start);
-      if start > !last then last := start;
-      incr index)
-    circuit;
-  List.init (!last + 1) (fun k -> List.rev !buckets.(k))
+(* Schedule-aware execution over the shared timed executable
+   (Schedule.t): decoherence acts on EVERY qubit for each moment's
+   duration — idle qubits decay too, as on real hardware.  [run] above
+   is the cheaper acting-qubits-only approximation.  Without an explicit
+   schedule the model's two device-wide scalars time the moments (the
+   pre-refactor behaviour, bit for bit); the compiler passes its
+   calibrated per-gate-type schedule instead. *)
+let model_schedule model circuit =
+  Schedule.of_circuit circuit ~durations:(fun _ instr ->
+      match Qcir.Instr.arity instr with
+      | 1 -> model.duration_1q
+      | 2 -> model.duration_2q
+      | _ -> invalid_arg "Noisy.run_scheduled: gates beyond two qubits unsupported")
 
-let run_scheduled model circuit =
+let run_scheduled ?schedule model circuit =
+  let sched =
+    match schedule with Some s -> s | None -> model_schedule model circuit
+  in
   let n = Qcir.Circuit.n_qubits circuit in
   let rho = Density.create n in
-  List.iter
+  Schedule.iter_moments
     (fun moment ->
-      let duration = ref 0.0 in
       List.iter
         (fun (idx, instr) ->
           Density.apply_instr rho instr;
@@ -117,22 +104,23 @@ let run_scheduled model circuit =
           match Array.length qs with
           | 1 ->
             let p = model.oneq_error qs.(0) in
-            if p > 0.0 then Density.apply_channel rho (Channel.depolarizing_1q p) qs;
-            duration := Float.max !duration model.duration_1q
+            if p > 0.0 then Density.apply_channel rho (Channel.depolarizing_1q p) qs
           | 2 ->
             let p = model.twoq_error idx instr in
-            if p > 0.0 then Density.apply_channel rho (Channel.depolarizing_2q p) qs;
-            duration := Float.max !duration model.duration_2q
+            if p > 0.0 then Density.apply_channel rho (Channel.depolarizing_2q p) qs
           | _ -> invalid_arg "Noisy.run_scheduled: gates beyond two qubits unsupported")
-        moment;
+        moment.Schedule.instrs;
       for q = 0 to n - 1 do
-        apply_decoherence model rho q !duration
+        apply_decoherence model rho q moment.Schedule.duration
       done)
-    (indexed_moments circuit);
+    sched;
   rho
 
-let output_probabilities ?(scheduled = false) model circuit =
-  let rho = if scheduled then run_scheduled model circuit else run model circuit in
+let output_probabilities ?(scheduled = false) ?schedule model circuit =
+  let rho =
+    if scheduled || Option.is_some schedule then run_scheduled ?schedule model circuit
+    else run model circuit
+  in
   let n = Density.n_qubits rho in
   let probs = Density.probabilities rho in
   let error_rates = Array.init n model.readout_error in

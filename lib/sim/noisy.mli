@@ -22,11 +22,17 @@ val ideal : noise_model
 val run : noise_model -> Qcir.Circuit.t -> Density.t
 (** Acting-qubits-only decoherence (the cheap approximation). *)
 
-val run_scheduled : noise_model -> Qcir.Circuit.t -> Density.t
-(** Schedule-aware execution: instructions pack into ASAP moments and
-    decoherence acts on every qubit — idle ones included — for each
-    moment's duration. *)
+val model_schedule : noise_model -> Qcir.Circuit.t -> Schedule.t
+(** The default timed executable: ASAP moments timed by the model's two
+    device-wide duration scalars. *)
+
+val run_scheduled : ?schedule:Schedule.t -> noise_model -> Qcir.Circuit.t -> Density.t
+(** Schedule-aware execution over the shared {!Schedule.t}: decoherence
+    acts on every qubit — idle ones included — for each moment's
+    duration.  [schedule] defaults to {!model_schedule}; the compiler
+    passes its calibrated per-gate-type schedule instead. *)
 
 val output_probabilities :
-  ?scheduled:bool -> noise_model -> Qcir.Circuit.t -> float array
-(** Final probabilities including classical readout error. *)
+  ?scheduled:bool -> ?schedule:Schedule.t -> noise_model -> Qcir.Circuit.t -> float array
+(** Final probabilities including classical readout error.  Passing
+    [schedule] implies [scheduled:true]. *)

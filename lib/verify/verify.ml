@@ -436,6 +436,8 @@ let same_compiled (a : Compiler.Pipeline.compiled) (b : Compiler.Pipeline.compil
   && a.final_layout = b.final_layout
   && a.swap_count = b.swap_count
   && a.twoq_count = b.twoq_count
+  && a.duration = b.duration
+  && a.critical_depth = b.critical_depth
 
 let compiler =
   [
@@ -450,6 +452,110 @@ let compiler =
         let a = Compiler.Pipeline.compile ~options ~cal ~isa circuit in
         let b = Compiler.Pipeline.compile_reference ~options ~cal ~isa circuit in
         same_compiled a b);
+  ]
+
+(* ---------- Schedule: timing layer against its laws ---------- *)
+
+let uniform_durations = Schedule.uniform ~duration_1q:20e-9 ~duration_2q:40e-9
+
+let schedule_group =
+  [
+    (* ASAP moments must be dependency-sound: no qubit acts twice in a
+       moment, per-qubit program order is preserved across moments, and
+       with uniform durations the moment count is exactly the circuit
+       depth *)
+    test "moments are dependency-sound" ~count:20
+      (circuit_arb ~n_qubits:4 ~max_length:16 ())
+      (fun c ->
+        let s = Schedule.of_circuit ~durations:uniform_durations c in
+        let sound = ref true in
+        let last = Array.make (Qcir.Circuit.n_qubits c) (-1) in
+        Schedule.iter_moments
+          (fun m ->
+            let seen = Hashtbl.create 8 in
+            List.iter
+              (fun (idx, instr) ->
+                Array.iter
+                  (fun q ->
+                    if Hashtbl.mem seen q then sound := false;
+                    Hashtbl.replace seen q ();
+                    if idx <= last.(q) then sound := false;
+                    last.(q) <- idx)
+                  (Qcir.Instr.qubits instr))
+              m.Schedule.instrs)
+          s;
+        !sound
+        && Schedule.depth s = Qcir.Circuit.depth c
+        && Schedule.instruction_count s = Qcir.Circuit.length c);
+    (* per-qubit accounting closes: busy + idle = total, exactly *)
+    test "busy + idle = total duration per qubit" ~count:15
+      (circuit_arb ~n_qubits:4 ~max_length:16 ())
+      (fun c ->
+        let s = Schedule.of_circuit ~durations:uniform_durations c in
+        let ok = ref true in
+        for q = 0 to Schedule.n_qubits s - 1 do
+          if
+            not
+              (close ~eps:1e-15
+                 (Schedule.busy_time s q +. Schedule.idle_time s q)
+                 (Schedule.total_duration s))
+          then ok := false
+        done;
+        !ok);
+    (* with decoherence off, the moment-ordered scheduled runner and the
+       program-ordered plain runner compose the same commuting channels:
+       identical output within float tolerance *)
+    test "run_scheduled = run when T1/T2 are infinite" ~count:8
+      (circuit_arb ())
+      (fun c ->
+        let model =
+          {
+            (noise ~twoq:0.03 ~oneq:0.002) with
+            Sim.Noisy.duration_1q = 20e-9;
+            duration_2q = 40e-9;
+          }
+        in
+        linf
+          (Sim.Density.probabilities (Sim.Noisy.run model c))
+          (Sim.Density.probabilities (Sim.Noisy.run_scheduled model c))
+        < 1e-9);
+    (* the analytic product tracks the exponential-cost density
+       simulation: ESP within 5% absolute of both the state fidelity and
+       the Bhattacharyya distribution fidelity on small noisy circuits *)
+    test "ESP tracks density-sim success within 5%" ~count:6
+      (circuit_arb ~n_qubits:3 ~max_length:10 ())
+      (fun c ->
+        let twoq = 0.004 and oneq = 0.0004 in
+        let t1 = 40e-6 and t2 = 30e-6 in
+        let model =
+          {
+            (noise ~twoq ~oneq) with
+            Sim.Noisy.t1 = (fun _ -> t1);
+            t2 = (fun _ -> t2);
+            duration_1q = 25e-9;
+            duration_2q = 40e-9;
+          }
+        in
+        let schedule = Sim.Noisy.model_schedule model c in
+        let twoq_errors = Array.make (Qcir.Circuit.length c) twoq in
+        let esp =
+          (Metrics.Esp.estimate ~twoq_errors
+             ~oneq_error:(fun _ -> oneq)
+             ~readout_error:(fun _ -> 0.0)
+             ~t1:(fun _ -> t1)
+             ~t2:(fun _ -> t2)
+             schedule)
+            .Metrics.Esp.esp
+        in
+        let rho = Sim.Noisy.run_scheduled ~schedule model c in
+        let ideal = Sim.State.run_circuit c in
+        let state_fid = Sim.Density.fidelity_with_pure rho ideal in
+        let dist_fid =
+          Metrics.Success.distribution_fidelity
+            ~ideal:(Sim.State.probabilities ideal)
+            ~noisy:(Sim.Density.probabilities rho)
+        in
+        Float.abs (esp -. state_fid) <= 0.05 && Float.abs (esp -. dist_fid) <= 0.05);
   ]
 
 (* ---------- Isa: set design against its invariants ---------- *)
@@ -534,5 +640,6 @@ let all =
     ("sim", sim);
     ("roundtrip", roundtrip);
     ("compiler", compiler);
+    ("schedule", schedule_group);
     ("isa", isa);
   ]

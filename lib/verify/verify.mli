@@ -44,7 +44,16 @@ val roundtrip : (string * (unit -> unit)) list
 
 val compiler : (string * (unit -> unit)) list
 (** The default pass stack reproduces [compile_reference] bit for bit
-    on random circuits. *)
+    on random circuits — timed-executable duration and critical depth
+    included. *)
+
+val schedule_group : (string * (unit -> unit)) list
+(** The timing layer against its laws: ASAP moments are
+    dependency-sound with moment count = circuit depth under uniform
+    durations, per-qubit busy + idle time closes to the total, the
+    scheduled runner matches the plain runner when decoherence is off,
+    and the analytic ESP tracks density-sim success within 5% on small
+    noisy circuits. *)
 
 val isa : (string * (unit -> unit)) list
 (** Set design: a search restricted to a Table II set's own types

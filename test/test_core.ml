@@ -28,11 +28,14 @@ let test_study_metrics_distinct () =
   let rng = Rng.create 32 in
   let cal = Device.Sycamore.line_device 4 in
   let circuit = Apps.Qaoa.circuit rng 3 in
-  let xed, _, _ =
+  let e =
     Core.Study.evaluate_circuit ~options:tiny_options ~cal ~isa:Isa.Set.s3
       ~metric:Core.Study.Xed circuit
   in
-  check_bool "xed bounded" true (xed <= 1.0 +. 1e-9)
+  check_bool "xed bounded" true (e.Core.Study.value <= 1.0 +. 1e-9);
+  check_bool "duration positive" true (e.Core.Study.duration > 0.0);
+  check_bool "esp in (0, 1]" true
+    (e.Core.Study.esp > 0.0 && e.Core.Study.esp <= 1.0)
 
 let test_study_state_fidelity_noiseless () =
   (* with an ideal device the QFT success metric must be ~1 *)
@@ -53,11 +56,11 @@ let test_study_state_fidelity_noiseless () =
         (Isa.Set.gate_types Isa.Set.g2))
     (Device.Topology.edges topology);
   let circuit = Apps.Qft.circuit 3 in
-  let v, _, _ =
+  let e =
     Core.Study.evaluate_circuit ~options:tiny_options ~cal ~isa:Isa.Set.g2
       ~metric:Core.Study.State_fidelity circuit
   in
-  check_bool "near 1" true (v > 0.99)
+  check_bool "near 1" true (e.Core.Study.value > 0.99)
 
 let test_multi_gate_sets_not_worse () =
   (* the headline claim at tiny scale: a multi-type set is at least as

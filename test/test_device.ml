@@ -35,10 +35,19 @@ let test_shortest_path () =
   Alcotest.(check (list int)) "wraps" [ 0; 7; 6 ] (Device.Topology.shortest_path t 0 6)
 
 let test_path_disconnected () =
+  (* two components: the error must name the offending qubit pair *)
   let t = Device.Topology.of_edges 4 [ (0, 1); (2, 3) ] in
   check_bool "disconnected" false (Device.Topology.is_connected t);
-  Alcotest.check_raises "raises" Not_found (fun () ->
-      ignore (Device.Topology.shortest_path t 0 3))
+  Alcotest.check_raises "raises"
+    (Invalid_argument "Topology.shortest_path: qubits 0 and 3 are not connected")
+    (fun () -> ignore (Device.Topology.shortest_path t 0 3));
+  Alcotest.check_raises "distance raises"
+    (Invalid_argument "Topology.shortest_path: qubits 2 and 1 are not connected")
+    (fun () -> ignore (Device.Topology.distance t 2 1));
+  (* within a component both still work *)
+  Alcotest.(check (list int)) "same component" [ 2; 3 ]
+    (Device.Topology.shortest_path t 2 3);
+  check_int "distance" 1 (Device.Topology.distance t 0 1)
 
 let test_find_line () =
   let t = Device.Topology.grid 3 3 in
@@ -106,12 +115,44 @@ let test_calibration_family () =
 let test_calibration_error_scale () =
   let cal = make_cal () in
   Device.Calibration.set_twoq_error cal (0, 1) Gates.Gate_type.s3 0.012;
+  Device.Calibration.set_twoq_duration cal (0, 1) Gates.Gate_type.s3 45e-9;
   let scaled = Device.Calibration.with_error_scale cal 2.0 in
   check_float "2q scaled" 0.024
     (Device.Calibration.twoq_error scaled (0, 1) Gates.Gate_type.s3);
   check_float "1q scaled" 0.002 (Device.Calibration.oneq_error scaled 0);
+  (* every error rate scales — readout included *)
+  check_float "readout scaled" 0.02 (Device.Calibration.readout_error scaled 0);
+  (* durations and coherence are timing, not error rates: untouched *)
+  check_float "2q duration kept" 45e-9
+    (Device.Calibration.twoq_duration scaled (0, 1) Gates.Gate_type.s3);
+  check_float "1q duration kept" 25e-9 (Device.Calibration.duration_1q scaled);
+  check_float "t1 kept" 20e-6 (Device.Calibration.t1 scaled 0);
   (* original untouched *)
-  check_float "original" 0.012 (Device.Calibration.twoq_error cal (0, 1) Gates.Gate_type.s3)
+  check_float "original" 0.012 (Device.Calibration.twoq_error cal (0, 1) Gates.Gate_type.s3);
+  check_float "original readout" 0.01 (Device.Calibration.readout_error cal 0)
+
+let test_calibration_durations () =
+  let cal = make_cal () in
+  (* scalar fallback before any per-type entry exists *)
+  check_float "fallback" 32e-9
+    (Device.Calibration.twoq_duration cal (0, 1) Gates.Gate_type.s3);
+  Device.Calibration.set_twoq_duration cal (0, 1) Gates.Gate_type.s3 45e-9;
+  check_float "lookup" 45e-9
+    (Device.Calibration.twoq_duration cal (0, 1) Gates.Gate_type.s3);
+  (* canonical edge ordering: (1, 0) finds the same entry *)
+  check_float "reversed edge" 45e-9
+    (Device.Calibration.twoq_duration cal (1, 0) Gates.Gate_type.s3);
+  check_float "by name" 45e-9 (Device.Calibration.twoq_duration_by_name cal (0, 1) "CZ");
+  (* other edge and other type still fall back to the scalar *)
+  check_float "other edge" 32e-9
+    (Device.Calibration.twoq_duration cal (1, 2) Gates.Gate_type.s3);
+  check_float "other type" 32e-9
+    (Device.Calibration.twoq_duration cal (0, 1) Gates.Gate_type.s4);
+  check_float "mean over edges" ((45e-9 +. 32e-9) /. 2.0)
+    (Device.Calibration.mean_twoq_duration cal Gates.Gate_type.s3);
+  Alcotest.check_raises "rejects non-positive"
+    (Invalid_argument "Calibration.set_twoq_duration: need dur > 0") (fun () ->
+      Device.Calibration.set_twoq_duration cal (0, 1) Gates.Gate_type.s3 0.0)
 
 let test_calibration_accessors () =
   let cal = make_cal () in
@@ -129,6 +170,17 @@ let test_aspen_table_matches_device () =
       check_float "xy" xy_fid
         (Device.Calibration.twoq_fidelity cal edge Gates.Gate_type.xy_pi))
     (Device.Aspen8.fidelity_table ())
+
+let test_aspen_durations () =
+  (* the per-type duration table reaches every ring edge *)
+  let cal = Device.Aspen8.ring_device () in
+  List.iter
+    (fun (ty, d) ->
+      check_float (Gates.Gate_type.name ty) d
+        (Device.Calibration.twoq_duration cal (0, 1) ty);
+      check_float "mean = uniform table" d
+        (Device.Calibration.mean_twoq_duration cal ty))
+    Device.Aspen8.type_durations
 
 let test_aspen_best_varies () =
   (* Fig 3's key property: the best gate type differs across edges *)
@@ -180,6 +232,17 @@ let test_sycamore_vary_flag () =
   let v2 = Device.Calibration.twoq_error varied (0, 1) Gates.Gate_type.s3 in
   check_bool "varies" true (Float.abs (v1 -. v2) > 1e-9)
 
+let test_sycamore_durations () =
+  (* the per-type duration table reaches both full and line devices *)
+  List.iter
+    (fun cal ->
+      List.iter
+        (fun (ty, d) ->
+          check_float (Gates.Gate_type.name ty) d
+            (Device.Calibration.twoq_duration cal (0, 1) ty))
+        Device.Sycamore.type_durations)
+    [ Device.Sycamore.device (); Device.Sycamore.line_device 4 ]
+
 let test_sycamore_mu_override () =
   let cal = Device.Sycamore.line_device ~mu:0.0002 ~sigma:1e-5 ~oneq:3e-5 6 in
   let err = Device.Calibration.twoq_error cal (0, 1) Gates.Gate_type.s1 in
@@ -206,11 +269,13 @@ let () =
           Alcotest.test_case "missing raises" `Quick test_calibration_missing_raises;
           Alcotest.test_case "family errors" `Quick test_calibration_family;
           Alcotest.test_case "error scaling" `Quick test_calibration_error_scale;
+          Alcotest.test_case "per-type durations" `Quick test_calibration_durations;
           Alcotest.test_case "accessors" `Quick test_calibration_accessors;
         ] );
       ( "aspen8",
         [
           Alcotest.test_case "table matches device" `Quick test_aspen_table_matches_device;
+          Alcotest.test_case "duration table" `Quick test_aspen_durations;
           Alcotest.test_case "best gate varies" `Quick test_aspen_best_varies;
           Alcotest.test_case "xy fidelity band" `Quick test_aspen_xy_band;
           Alcotest.test_case "deterministic" `Quick test_aspen_deterministic;
@@ -219,6 +284,7 @@ let () =
         [
           Alcotest.test_case "error distribution" `Quick test_sycamore_distribution;
           Alcotest.test_case "vary flag" `Quick test_sycamore_vary_flag;
+          Alcotest.test_case "duration table" `Quick test_sycamore_durations;
           Alcotest.test_case "mu override" `Quick test_sycamore_mu_override;
         ] );
     ]

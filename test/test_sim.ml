@@ -241,6 +241,131 @@ let test_scheduled_noiseless_exact () =
   let expect = Sim.State.probabilities (Sim.State.run_circuit c) in
   Array.iteri (fun k p -> check_loose "prob" p probs.(k)) expect
 
+(* ---------- scheduled-runner differential reference ---------- *)
+
+(* The pre-refactor schedule-aware runner — private ASAP bucketing with
+   an interleaved Float.max duration fold — retained verbatim: the
+   rewrite over the shared Schedule.t must reproduce it bit for bit. *)
+let reference_indexed_moments circuit =
+  let n = Qcir.Circuit.n_qubits circuit in
+  let avail_steps = Array.make n 0 in
+  let buckets : (int * Qcir.Instr.t) list array ref = ref (Array.make 8 []) in
+  let ensure k =
+    if k >= Array.length !buckets then begin
+      let bigger = Array.make (2 * (k + 1)) [] in
+      Array.blit !buckets 0 bigger 0 (Array.length !buckets);
+      buckets := bigger
+    end
+  in
+  let last = ref (-1) in
+  let index = ref 0 in
+  Qcir.Circuit.iter
+    (fun instr ->
+      let qs = Qcir.Instr.qubits instr in
+      let start = Array.fold_left (fun m q -> max m avail_steps.(q)) 0 qs in
+      Array.iter (fun q -> avail_steps.(q) <- start + 1) qs;
+      ensure start;
+      !buckets.(start) <- (!index, instr) :: !buckets.(start);
+      if start > !last then last := start;
+      incr index)
+    circuit;
+  List.init (!last + 1) (fun k -> List.rev !buckets.(k))
+
+let reference_run_scheduled (model : Sim.Noisy.noise_model) circuit =
+  let apply_decoherence rho q duration =
+    if Float.is_finite (model.Sim.Noisy.t1 q) && duration > 0.0 then begin
+      let gamma, lambda =
+        Sim.Channel.damping_params ~t1:(model.Sim.Noisy.t1 q)
+          ~t2:(model.Sim.Noisy.t2 q) ~duration
+      in
+      if gamma > 0.0 then
+        Sim.Density.apply_channel rho (Sim.Channel.amplitude_damping gamma) [| q |];
+      if lambda > 0.0 then
+        Sim.Density.apply_channel rho (Sim.Channel.phase_damping lambda) [| q |]
+    end
+  in
+  let n = Qcir.Circuit.n_qubits circuit in
+  let rho = Sim.Density.create n in
+  List.iter
+    (fun moment ->
+      let duration = ref 0.0 in
+      List.iter
+        (fun (idx, instr) ->
+          Sim.Density.apply_instr rho instr;
+          let qs = Qcir.Instr.qubits instr in
+          match Array.length qs with
+          | 1 ->
+            let p = model.Sim.Noisy.oneq_error qs.(0) in
+            if p > 0.0 then
+              Sim.Density.apply_channel rho (Sim.Channel.depolarizing_1q p) qs;
+            duration := Float.max !duration model.Sim.Noisy.duration_1q
+          | 2 ->
+            let p = model.Sim.Noisy.twoq_error idx instr in
+            if p > 0.0 then
+              Sim.Density.apply_channel rho (Sim.Channel.depolarizing_2q p) qs;
+            duration := Float.max !duration model.Sim.Noisy.duration_2q
+          | _ -> Alcotest.fail "reference: >2q gate")
+        moment;
+      for q = 0 to n - 1 do
+        apply_decoherence rho q !duration
+      done)
+    (reference_indexed_moments circuit);
+  rho
+
+let full_noise () =
+  {
+    (noise_with ~twoq:0.02 ~oneq:0.001 ~readout:0.01 ()) with
+    Sim.Noisy.t1 = (fun q -> 15e-6 +. (1e-6 *. float_of_int q));
+    t2 = (fun q -> 11e-6 +. (0.5e-6 *. float_of_int q));
+    duration_1q = 25e-9;
+    duration_2q = 32e-9;
+  }
+
+let test_scheduled_bit_identical_random () =
+  (* all noise knobs on, several random circuits: exact float equality *)
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = Apps.Qv.circuit rng 3 in
+      let model = full_noise () in
+      let a = Sim.Density.probabilities (reference_run_scheduled model c) in
+      let b = Sim.Density.probabilities (Sim.Noisy.run_scheduled model c) in
+      check_bool "bit-identical" true (a = b))
+    [ 41; 42; 43; 44 ]
+
+let test_scheduled_bit_identical_fig9 () =
+  (* the fig9 quick-scale configuration: Aspen-8 pipeline output run
+     under the pipeline noise model *)
+  let cal = Device.Aspen8.ring_device () in
+  let options =
+    {
+      Compiler.Pipeline.default_options with
+      nuop = { Decompose.Nuop.default_options with starts = 3 };
+    }
+  in
+  let rng = Rng.create 2021 in
+  List.iter
+    (fun circuit ->
+      let compiled = Compiler.Pipeline.compile ~options ~cal ~isa:Isa.Set.r2 circuit in
+      let nm = Compiler.Pipeline.noise_model ~cal compiled in
+      let c = compiled.Compiler.Pipeline.circuit in
+      let a = Sim.Density.probabilities (reference_run_scheduled nm c) in
+      let b = Sim.Density.probabilities (Sim.Noisy.run_scheduled nm c) in
+      check_bool "bit-identical" true (a = b))
+    [ Apps.Qaoa.circuit rng 3; Apps.Qv.circuit rng 3 ]
+
+let test_scheduled_explicit_schedule_matches_default () =
+  (* passing the model's own schedule explicitly changes nothing *)
+  let rng = Rng.create 45 in
+  let c = Apps.Qaoa.circuit rng 3 in
+  let model = full_noise () in
+  let a = Sim.Density.probabilities (Sim.Noisy.run_scheduled model c) in
+  let b =
+    Sim.Density.probabilities
+      (Sim.Noisy.run_scheduled ~schedule:(Sim.Noisy.model_schedule model c) model c)
+  in
+  check_bool "identical" true (a = b)
+
 (* ---------- Trajectory ---------- *)
 
 let test_trajectory_noiseless_deterministic () =
@@ -369,6 +494,12 @@ let () =
           Alcotest.test_case "scheduled = plain sans decoherence" `Quick test_scheduled_matches_ideal;
           Alcotest.test_case "scheduled idle decoherence" `Quick test_scheduled_idle_decoherence;
           Alcotest.test_case "scheduled noiseless" `Quick test_scheduled_noiseless_exact;
+          Alcotest.test_case "scheduled bit-identical (random)" `Quick
+            test_scheduled_bit_identical_random;
+          Alcotest.test_case "scheduled bit-identical (fig9 config)" `Quick
+            test_scheduled_bit_identical_fig9;
+          Alcotest.test_case "explicit schedule = default" `Quick
+            test_scheduled_explicit_schedule_matches_default;
         ] );
       ( "trajectory",
         [
