@@ -95,20 +95,110 @@ let decompose_cmd =
 
 (* ---------- devices ---------- *)
 
-let devices_cmd =
-  let run () =
-    Core.Fig3.run ();
-    let cal = Device.Sycamore.device () in
-    Core.Report.heading "Sycamore model";
-    Printf.printf "%d qubits, %d couplers; SYC error N(%.2f%%, %.2f%%)\n"
-      Device.Sycamore.n_qubits
-      (Device.Topology.edge_count (Device.Calibration.topology cal))
-      (100.0 *. Device.Sycamore.err_mu)
-      (100.0 *. Device.Sycamore.err_sigma);
-    Printf.printf "mean SYC error on this instance: %.3f%%\n"
-      (100.0 *. Device.Calibration.mean_twoq_error cal Gates.Gate_type.s1)
+(* The single device lookup every subcommand shares: a --device argument
+   is either a registry name or a path to a JSON snapshot (as written by
+   `nuop devices dump`).  A registry miss lists the known names. *)
+let resolve_device ?qubits spec =
+  if Sys.file_exists spec && not (Sys.is_directory spec) then Device.of_file spec
+  else Device.Registry.build ?qubits spec
+
+let device_arg =
+  Arg.(
+    value & opt string "sycamore"
+    & info [ "device" ] ~docv:"DEVICE"
+        ~doc:
+          "Device: a registry name (see $(b,nuop devices list)) or a JSON \
+           snapshot file written by $(b,nuop devices dump).")
+
+let qubits_opt_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "qubits"; "n" ] ~docv:"N"
+        ~doc:"Qubit count for sized devices (registry default otherwise).")
+
+let devices_list () =
+  Printf.printf "%-12s %7s  %s\n" "name" "qubits" "description";
+  List.iter
+    (fun e ->
+      Printf.printf "%-12s %7d  %s\n" e.Device.Registry.name
+        e.Device.Registry.default_qubits e.Device.Registry.description)
+    Device.Registry.entries
+
+let devices_list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the registered device models")
+    Term.(const devices_list $ const ())
+
+let devices_show_cmd =
+  let spec =
+    Arg.(
+      value & pos 0 string "sycamore54"
+      & info [] ~docv:"DEVICE" ~doc:"Registry name or snapshot file.")
   in
-  Cmd.v (Cmd.info "devices" ~doc:"Print the modelled devices") Term.(const run $ const ())
+  let run spec qubits =
+    let d = resolve_device ?qubits spec in
+    let topo = Device.topology d in
+    Printf.printf "%s: %s\n" (Device.name d) (Device.description d);
+    Printf.printf "  %d qubits, %d couplers\n" (Device.Topology.n_qubits topo)
+      (Device.Topology.edge_count topo);
+    let prov = Device.provenance d in
+    (match prov.Device.Provenance.seed with
+    | Some s -> Printf.printf "  builder seed %d\n" s
+    | None -> ());
+    (match prov.Device.Provenance.calibrated_at with
+    | Some t -> Printf.printf "  calibrated at %s\n" t
+    | None -> ());
+    if prov.Device.Provenance.drifted_hours > 0.0 then
+      Printf.printf "  drifted %.1f h since calibration\n"
+        prov.Device.Provenance.drifted_hours;
+    let isa = Device.native_isa d in
+    Printf.printf "  native set %s: %s\n" (Isa.Set.name isa)
+      (String.concat ", " (List.map Gates.Gate_type.name (Isa.Set.gate_types isa)));
+    let cal = Device.calibration d in
+    List.iter
+      (fun ty ->
+        match Gates.Gate_type.param_count ty with
+        | 0 ->
+          Printf.printf "    %-12s mean error %.4f%%  mean duration %.1f ns\n"
+            (Gates.Gate_type.name ty)
+            (100.0 *. Device.Calibration.mean_twoq_error cal ty)
+            (1e9 *. Device.Calibration.mean_twoq_duration cal ty)
+        | _ -> ())
+      (Isa.Set.gate_types isa)
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print one device's calibration summary")
+    Term.(const run $ spec $ qubits_opt_arg)
+
+let devices_dump_cmd =
+  let spec =
+    Arg.(
+      value & pos 0 string "aspen8"
+      & info [] ~docv:"DEVICE" ~doc:"Registry name or snapshot file.")
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the snapshot to $(docv).")
+  in
+  let run spec qubits output =
+    let d = resolve_device ?qubits spec in
+    match output with
+    | Some path ->
+      Device.to_file path d;
+      Printf.printf "wrote %s (%d qubits)\n" path (Device.n_qubits d)
+    | None -> print_endline (Device.to_string d)
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"Serialize a device to a JSON snapshot (re-loadable via --device FILE)")
+    Term.(const run $ spec $ qubits_opt_arg $ output)
+
+let devices_cmd =
+  Cmd.group
+    ~default:Term.(const devices_list $ const ())
+    (Cmd.info "devices" ~doc:"List, inspect and snapshot the modelled devices")
+    [ devices_list_cmd; devices_show_cmd; devices_dump_cmd ]
 
 (* ---------- study ---------- *)
 
@@ -125,21 +215,10 @@ let study_cmd =
   in
   let qubits = Arg.(value & opt int 4 & info [ "qubits"; "n" ] ~doc:"Circuit width.") in
   let count = Arg.(value & opt int 5 & info [ "count" ] ~doc:"Number of random circuits.") in
-  let device =
-    Arg.(
-      value & opt string "sycamore"
-      & info [ "device" ] ~doc:"Device model: sycamore or aspen8.")
-  in
   let seed = Arg.(value & opt int 2021 & info [ "seed" ] ~doc:"Random seed.") in
   let run isa_name app qubits count device seed =
     let isa = Isa.Set.find_exn isa_name in
-
-    let cal =
-      match device with
-      | "sycamore" -> Device.Sycamore.line_device (max 4 qubits)
-      | "aspen8" -> Device.Aspen8.ring_device ()
-      | d -> invalid_arg (Printf.sprintf "unknown device %s" d)
-    in
+    let device = resolve_device ~qubits:(max 4 qubits) device in
     let rng = Linalg.Rng.create seed in
     let circuits, metric =
       match app with
@@ -149,12 +228,12 @@ let study_cmd =
       | "fh" -> ([ Apps.Fermi_hubbard.circuit (max 4 qubits) ], Core.Study.Xeb_fidelity)
       | a -> invalid_arg (Printf.sprintf "unknown app %s" a)
     in
-    let r = Core.Study.evaluate_suite ~cal ~isa ~metric circuits in
+    let r = Core.Study.evaluate_suite ~device ~isa ~metric circuits in
     Core.Study.print_results ~metric [ r ]
   in
   Cmd.v
     (Cmd.info "study" ~doc:"Compile and simulate a benchmark against an instruction set")
-    Term.(const run $ isa_arg $ app_arg $ qubits $ count $ device $ seed)
+    Term.(const run $ isa_arg $ app_arg $ qubits $ count $ device_arg $ seed)
 
 (* ---------- compile ---------- *)
 
@@ -170,11 +249,6 @@ let compile_cmd =
       & info [ "app" ] ~docv:"APP" ~doc:"Benchmark: qv, qaoa, qft, fh.")
   in
   let qubits = Arg.(value & opt int 4 & info [ "qubits"; "n" ] ~doc:"Circuit width.") in
-  let device =
-    Arg.(
-      value & opt string "sycamore"
-      & info [ "device" ] ~doc:"Device model: sycamore or aspen8.")
-  in
   let seed = Arg.(value & opt int 2021 & info [ "seed" ] ~doc:"Random seed.") in
   let optimize =
     Arg.(
@@ -203,13 +277,7 @@ let compile_cmd =
   in
   let run isa_name app qubits device seed optimize trace print_circuit print_schedule =
     let isa = Isa.Set.find_exn isa_name in
-
-    let cal =
-      match device with
-      | "sycamore" -> Device.Sycamore.line_device (max 4 qubits)
-      | "aspen8" -> Device.Aspen8.ring_device ()
-      | d -> invalid_arg (Printf.sprintf "unknown device %s" d)
-    in
+    let device = resolve_device ~qubits:(max 4 qubits) device in
     let rng = Linalg.Rng.create seed in
     let circuit =
       match app with
@@ -223,7 +291,7 @@ let compile_cmd =
       if optimize then Compiler.Pass.optimized_stack else Compiler.Pass.default_stack
     in
     let compiled, metrics =
-      Compiler.Pipeline.compile_with_metrics ~stack ~cal ~isa circuit
+      Compiler.Pipeline.compile_with_metrics ~stack ~device ~isa circuit
     in
     Printf.printf "%s on %s via %s stack (%d passes):\n" app isa_name
       (if optimize then "optimized" else "default")
@@ -237,7 +305,7 @@ let compile_cmd =
     Printf.printf "  duration %.1f ns over %d moments, ESP %.4f\n"
       (1e9 *. compiled.Compiler.Pipeline.duration)
       compiled.Compiler.Pipeline.critical_depth
-      (Core.Study.esp ~cal compiled);
+      (Core.Study.esp ~device compiled);
     if trace then Core.Study.print_pass_metrics metrics;
     if print_schedule then
       print_string (Schedule.to_string compiled.Compiler.Pipeline.schedule);
@@ -247,7 +315,7 @@ let compile_cmd =
     (Cmd.info "compile"
        ~doc:"Compile a benchmark circuit through the pass manager")
     Term.(
-      const run $ isa_arg $ app_arg $ qubits $ device $ seed $ optimize $ trace
+      const run $ isa_arg $ app_arg $ qubits $ device_arg $ seed $ optimize $ trace
       $ print_circuit $ print_schedule)
 
 (* ---------- calibration ---------- *)
@@ -433,17 +501,25 @@ let design_cmd =
 let () =
   let doc = "calibration & expressivity-efficient quantum instruction sets (ISCA 2021 reproduction)" in
   let info = Cmd.info "nuop" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        decompose_cmd;
+        devices_cmd;
+        study_cmd;
+        compile_cmd;
+        calibration_cmd;
+        qasm_cmd;
+        weyl_cmd;
+        experiment_cmd;
+        design_cmd;
+      ]
+  in
+  (* bad user input (unknown device/set/app, malformed snapshot) raises
+     Invalid_argument with a self-explanatory message — print it as a
+     CLI error instead of a backtrace *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            decompose_cmd;
-            devices_cmd;
-            study_cmd;
-            compile_cmd;
-            calibration_cmd;
-            qasm_cmd;
-            weyl_cmd;
-            experiment_cmd;
-            design_cmd;
-          ]))
+    (try Cmd.eval ~catch:false group
+     with Invalid_argument msg ->
+       prerr_endline ("nuop: " ^ msg);
+       Cmd.Exit.cli_error)

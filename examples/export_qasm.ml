@@ -9,10 +9,10 @@ open Linalg
 let () =
   let rng = Rng.create 5 in
   let circuit = Apps.Qaoa.circuit rng 4 in
-  let cal = Device.Sycamore.line_device 5 in
+  let device = Device.sycamore_line 5 in
   let isa = Isa.Set.g2 in
   let compiled, metrics =
-    Compiler.Pipeline.compile_with_metrics ~stack:Compiler.Pass.optimized_stack ~cal
+    Compiler.Pipeline.compile_with_metrics ~stack:Compiler.Pass.optimized_stack ~device
       ~isa circuit
   in
   Printf.printf

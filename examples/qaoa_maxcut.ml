@@ -50,14 +50,14 @@ let () =
   let ideal_probs = Sim.State.probabilities (Sim.State.run_circuit circuit) in
   Printf.printf "Noiseless expected cut: %.3f\n\n" (expectation_cut graph ideal_probs);
 
-  let cal = Device.Aspen8.ring_device () in
+  let device = Device.aspen8 () in
   (* compile through the peephole-optimized pass stack: 1Q-merge fuses
      the decomposer's back-to-back single-qubit layers *)
   let stack = Compiler.Pass.optimized_stack in
   List.iter
     (fun isa ->
-      let compiled = Compiler.Pipeline.compile ~stack ~cal ~isa circuit in
-      let nm = Compiler.Pipeline.noise_model ~cal compiled in
+      let compiled = Compiler.Pipeline.compile ~stack ~device ~isa circuit in
+      let nm = Compiler.Pipeline.noise_model ~device compiled in
       let noisy =
         Compiler.Pipeline.logical_probabilities compiled
           (Sim.Noisy.output_probabilities nm compiled.Compiler.Pipeline.circuit)

@@ -110,3 +110,25 @@ let degrade_calibration cal ~rng ~drift ~hours_since_calibration =
     | [] -> 1.0
   in
   Device.Calibration.map_twoq_errors cal (fun _edge _name e -> e *. multiplier ())
+
+(* A drifted snapshot of a whole device: deep-copy the calibration,
+   inflate every stored fixed-type error and the continuous-family scale
+   by independent multipliers (all >= 1 by construction), and record the
+   staleness in the provenance.  1Q and readout errors are left alone —
+   single-qubit gates recalibrate cheaply and continuously on real
+   hardware, the expensive drift is in the two-qubit entanglers (Sec
+   IX).  The input device is untouched. *)
+let perturb rng p ~hours device =
+  assert (hours > 0.0);
+  let cal = Device.Calibration.copy (Device.calibration device) in
+  degrade_calibration cal ~rng ~drift:p ~hours_since_calibration:hours;
+  let family_multiplier =
+    match List.rev (simulate_multiplier_path rng p ~hours) with
+    | last :: _ -> last
+    | [] -> 1.0
+  in
+  let cal =
+    Device.Calibration.with_family_error_scale cal
+      (Device.Calibration.family_error_scale cal *. family_multiplier)
+  in
+  Device.add_drift (Device.with_calibration device cal) ~hours

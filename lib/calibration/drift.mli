@@ -62,3 +62,9 @@ val degrade_calibration :
   unit
 (** Apply independent drift multipliers to every stored gate error
     in-place. *)
+
+val perturb : Linalg.Rng.t -> params -> hours:float -> Device.t -> Device.t
+(** A drifted snapshot: every stored two-qubit error and the
+    continuous-family scale inflate by independent multipliers (>= 1),
+    [hours] accumulates into the provenance.  Pure — the input device is
+    unchanged. *)

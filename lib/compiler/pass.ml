@@ -40,7 +40,8 @@ let default_options =
 
 module Context = struct
   type t = {
-    cal : Device.Calibration.t;
+    device : Device.t;
+    cal : Device.Calibration.t;  (** [Device.calibration device], cached *)
     isa : Isa.Set.t;
     options : options;
     n_logical : int;
@@ -55,10 +56,11 @@ module Context = struct
         (** timed executable of [circuit] (set by the schedule pass) *)
   }
 
-  let create ?(options = default_options) ~cal ~isa ?placement circuit =
+  let create ?(options = default_options) ~device ~isa ?placement circuit =
     let n_logical = Qcir.Circuit.n_qubits circuit in
     {
-      cal;
+      device;
+      cal = Device.calibration device;
       isa;
       options;
       n_logical;
@@ -94,14 +96,22 @@ let run p ctx = p.run ctx
    compaction, [qubit_map] lookups after. *)
 let calibrated_durations ~cal ~to_device =
   let d1 = Device.Calibration.duration_1q cal in
+  let d2 = Device.Calibration.duration_2q cal in
+  let topo = Device.Calibration.topology cal in
   fun _index instr ->
     let qs = Qcir.Instr.qubits instr in
     match Array.length qs with
     | 1 -> d1
     | 2 ->
-      let edge = (to_device qs.(0), to_device qs.(1)) in
-      Device.Calibration.twoq_duration_by_name cal edge
-        (Gates.Gate.name (Qcir.Instr.gate instr))
+      let a = to_device qs.(0) and b = to_device qs.(1) in
+      (* Pre-routing schedules carry logical 2Q blocks between
+         non-adjacent qubits; those take the device-wide scalar, the
+         same fallback Calibration itself applied before it validated
+         adjacency. *)
+      if Device.Topology.are_adjacent topo a b then
+        Device.Calibration.twoq_duration_by_name cal (a, b)
+          (Gates.Gate.name (Qcir.Instr.gate instr))
+      else d2
     | _ -> invalid_arg "Pass.calibrated_durations: gates beyond two qubits unsupported"
 
 let timed_durations (ctx : Context.t) =

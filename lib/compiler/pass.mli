@@ -17,7 +17,8 @@ val default_options : options
 
 module Context : sig
   type t = {
-    cal : Device.Calibration.t;
+    device : Device.t;
+    cal : Device.Calibration.t;  (** [Device.calibration device], cached *)
     isa : Isa.Set.t;
     options : options;
     n_logical : int;
@@ -38,7 +39,7 @@ module Context : sig
 
   val create :
     ?options:options ->
-    cal:Device.Calibration.t ->
+    device:Device.t ->
     isa:Isa.Set.t ->
     ?placement:int array ->
     Qcir.Circuit.t ->

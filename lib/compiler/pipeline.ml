@@ -55,13 +55,13 @@ let compiled_of_context (ctx : Pass.Context.t) =
   }
 
 let compile_with_metrics ?(options = default_options) ?(stack = Pass.default_stack)
-    ~cal ~isa ?placement circuit =
-  let ctx = Pass.Context.create ~options ~cal ~isa ?placement circuit in
+    ~device ~isa ?placement circuit =
+  let ctx = Pass.Context.create ~options ~device ~isa ?placement circuit in
   let metrics = Pass_manager.run stack ctx in
   (compiled_of_context ctx, metrics)
 
-let compile ?options ?stack ~cal ~isa ?placement circuit =
-  fst (compile_with_metrics ?options ?stack ~cal ~isa ?placement circuit)
+let compile ?options ?stack ~device ~isa ?placement circuit =
+  fst (compile_with_metrics ?options ?stack ~device ~isa ?placement circuit)
 
 (* The pre-pass-manager monolith, retained verbatim as a differential
    reference: the default stack must reproduce it bit-for-bit (a test
@@ -139,7 +139,8 @@ let compile_reference ?(options = default_options) ~cal ~isa ?placement circuit 
     critical_depth = Schedule.depth schedule;
   }
 
-let noise_model ~cal compiled =
+let noise_model ~device compiled =
+  let cal = Device.calibration device in
   {
     Sim.Noisy.twoq_error =
       (fun index _instr ->

@@ -40,7 +40,7 @@ val decompose_on_edge :
 val compile :
   ?options:options ->
   ?stack:Pass.t list ->
-  cal:Device.Calibration.t ->
+  device:Device.t ->
   isa:Isa.Set.t ->
   ?placement:int array ->
   Qcir.Circuit.t ->
@@ -51,7 +51,7 @@ val compile :
 val compile_with_metrics :
   ?options:options ->
   ?stack:Pass.t list ->
-  cal:Device.Calibration.t ->
+  device:Device.t ->
   isa:Isa.Set.t ->
   ?placement:int array ->
   Qcir.Circuit.t ->
@@ -67,13 +67,15 @@ val compile_reference :
   compiled
 (** The pre-pass-manager monolithic implementation, retained as a
     differential reference: {!compile} with the default stack must
-    reproduce it bit-for-bit (the test-suite compares both). *)
+    reproduce it bit-for-bit (the test-suite compares both).  Kept on the
+    bare [Calibration.t] it predates — the comparison pins down that the
+    [Device.t] plumbing changes nothing. *)
 
 val compiled_of_context : Pass.Context.t -> compiled
 (** Extract the result from a context after a stack ending in the
     compact pass. *)
 
-val noise_model : cal:Device.Calibration.t -> compiled -> Sim.Noisy.noise_model
+val noise_model : device:Device.t -> compiled -> Sim.Noisy.noise_model
 
 val logical_probabilities : compiled -> float array -> float array
 (** Map compact-space output probabilities back to logical qubit order,

@@ -16,13 +16,13 @@ let qaoa_suite cfg rng n = Apps.Qaoa.circuits rng ~count:(max 4 (cfg.Config.qaoa
 
 let ablation_adaptivity b cfg rng =
   Report.Builder.subheading b "A. noise adaptivity across gate types (Aspen-8, QAOA, R2)";
-  let cal = Device.Aspen8.ring_device () in
+  let device = Device.aspen8 () in
   let circuits = qaoa_suite cfg rng 4 in
   let eval adaptive =
     let options =
       { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop; adaptive }
     in
-    (Study.evaluate_suite ~options ~cal ~isa:Isa.Set.r2 ~metric:Study.Xed circuits)
+    (Study.evaluate_suite ~options ~device ~isa:Isa.Set.r2 ~metric:Study.Xed circuits)
       .Study.mean_metric
   in
   Report.Builder.table b ~header:[ "selection"; "QAOA XED" ]
@@ -33,7 +33,7 @@ let ablation_adaptivity b cfg rng =
 
 let ablation_placement b cfg rng =
   Report.Builder.subheading b "B. noise-aware vs first-found placement (Aspen-8, QV, S3)";
-  let cal = Device.Aspen8.ring_device () in
+  let device = Device.aspen8 () in
   let circuits = Apps.Qv.circuits rng ~count:(max 4 (cfg.Config.qv_count / 2)) 3 in
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
   let eval placement_of =
@@ -42,10 +42,10 @@ let ablation_placement b cfg rng =
         (fun circuit ->
           let placement = placement_of (Qcir.Circuit.n_qubits circuit) in
           let compiled =
-            Compiler.Pipeline.compile ~options ~cal ~isa:Isa.Set.s3 ~placement
+            Compiler.Pipeline.compile ~options ~device ~isa:Isa.Set.s3 ~placement
               circuit
           in
-          let nm = Compiler.Pipeline.noise_model ~cal compiled in
+          let nm = Compiler.Pipeline.noise_model ~device compiled in
           let ideal = Sim.State.probabilities (Sim.State.run_circuit circuit) in
           let noisy =
             Compiler.Pipeline.logical_probabilities compiled
@@ -56,6 +56,7 @@ let ablation_placement b cfg rng =
     in
     List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
   in
+  let cal = Device.calibration device in
   let aware n = Option.get (Compiler.Mapping.best_line cal Isa.Set.s3 n) in
   let blind n = Option.get (Compiler.Mapping.trivial cal n) in
   Report.Builder.table b ~header:[ "placement"; "QV HOP" ]
@@ -66,7 +67,7 @@ let ablation_placement b cfg rng =
 
 let ablation_min_layers b cfg rng =
   Report.Builder.subheading b "C. template floor: min_layers 1 (paper) vs 0 (elision allowed)";
-  let cal = Device.Aspen8.ring_device () in
+  let device = Device.aspen8 () in
   (* weak interactions (small gamma): their Hilbert-Schmidt distance to
      the identity is below Aspen's gate error, so an unconstrained
      approximate pass elides them *)
@@ -84,7 +85,7 @@ let ablation_min_layers b cfg rng =
       }
     in
     let r =
-      Study.evaluate_suite ~options ~cal ~isa:Isa.Set.s3 ~metric:Study.Xed circuits
+      Study.evaluate_suite ~options ~device ~isa:Isa.Set.s3 ~metric:Study.Xed circuits
     in
     (r.Study.mean_metric, r.Study.mean_twoq)
   in
@@ -103,13 +104,13 @@ let ablation_min_layers b cfg rng =
 let ablation_cphase_family b cfg rng =
   Report.Builder.subheading b
     "D. continuous CZ(phi) set (Lacroix et al.) vs Full_fSim vs G7 (Sycamore QAOA)";
-  let cal = Device.Sycamore.line_device 6 in
+  let device = Device.sycamore_line 6 in
   let circuits = qaoa_suite cfg rng 4 in
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
   let rows =
     List.map
       (fun isa ->
-        let r = Study.evaluate_suite ~options ~cal ~isa ~metric:Study.Xed circuits in
+        let r = Study.evaluate_suite ~options ~device ~isa ~metric:Study.Xed circuits in
         [
           Isa.Set.name isa;
           Report.f4 r.Study.mean_metric;
@@ -152,15 +153,15 @@ let ablation_drift b cfg =
 
 let ablation_mitigation b cfg rng =
   Report.Builder.subheading b "F. readout-error mitigation (Sycamore QAOA, G2)";
-  let cal = Device.Sycamore.line_device 5 in
+  let device = Device.sycamore_line 5 in
   let circuits = qaoa_suite cfg rng 4 in
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
   let eval mitigate =
     let values =
       List.map
         (fun circuit ->
-          let compiled = Compiler.Pipeline.compile ~options ~cal ~isa:Isa.Set.g2 circuit in
-          let nm = Compiler.Pipeline.noise_model ~cal compiled in
+          let compiled = Compiler.Pipeline.compile ~options ~device ~isa:Isa.Set.g2 circuit in
+          let nm = Compiler.Pipeline.noise_model ~device compiled in
           let raw = Sim.Noisy.output_probabilities nm compiled.Compiler.Pipeline.circuit in
           let n = Array.length compiled.Compiler.Pipeline.qubit_map in
           let probs =
@@ -168,7 +169,7 @@ let ablation_mitigation b cfg rng =
               Sim.Mitigation.mitigate_readout
                 ~error_rates:
                   (Array.init n (fun q ->
-                       Device.Calibration.readout_error cal
+                       Device.Calibration.readout_error (Device.calibration device)
                          compiled.Compiler.Pipeline.qubit_map.(q)))
                 raw
             else raw
@@ -189,11 +190,11 @@ let ablation_mitigation b cfg rng =
 let ablation_pass_stack b cfg rng =
   Report.Builder.subheading b
     "H. pass stack: default vs 1Q-merge/elision peepholes (Aspen-8, QAOA, R2)";
-  let cal = Device.Aspen8.ring_device () in
+  let device = Device.aspen8 () in
   let circuits = qaoa_suite cfg rng 4 in
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
   let eval stack =
-    Study.evaluate_suite ~options ~stack ~cal ~isa:Isa.Set.r2 ~metric:Study.Xed
+    Study.evaluate_suite ~options ~stack ~device ~isa:Isa.Set.r2 ~metric:Study.Xed
       circuits
   in
   let plain = eval Compiler.Pass.default_stack in
@@ -207,7 +208,7 @@ let ablation_pass_stack b cfg rng =
   (* per-pass trace on one representative circuit *)
   let _, metrics =
     Compiler.Pipeline.compile_with_metrics ~options
-      ~stack:Compiler.Pass.optimized_stack ~cal ~isa:Isa.Set.r2
+      ~stack:Compiler.Pass.optimized_stack ~device ~isa:Isa.Set.r2
       (List.hd circuits)
   in
   Study.add_pass_metrics b metrics;

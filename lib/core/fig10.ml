@@ -21,12 +21,12 @@ let make_qft_circuits cfg n =
 
 let stack = Compiler.Pass.default_stack
 
-let run_suite b cfg cal ~label ~metric circuits ~sets =
+let run_suite b cfg device ~label ~metric circuits ~sets =
   Report.Builder.subheading b label;
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
   let results =
     List.map
-      (fun isa -> Study.evaluate_suite ~options ~stack ~cal ~isa ~metric circuits)
+      (fun isa -> Study.evaluate_suite ~options ~stack ~device ~isa ~metric circuits)
       sets
   in
   Study.add_results b ~metric results;
@@ -38,10 +38,13 @@ let full_fsim_degraded cfg base_seed ~metric circuits scales =
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
   List.map
     (fun scale ->
-      let cal = Device.Sycamore.line_device ~seed:base_seed 6 in
-      let cal = Device.Calibration.with_family_error_scale cal scale in
+      let device = Device.sycamore_line ~seed:base_seed 6 in
+      let device =
+        Device.with_calibration device
+          (Device.Calibration.with_family_error_scale (Device.calibration device) scale)
+      in
       let r =
-        Study.evaluate_suite ~options ~cal ~isa:Isa.Set.full_fsim ~metric circuits
+        Study.evaluate_suite ~options ~device ~isa:Isa.Set.full_fsim ~metric circuits
       in
       (scale, r))
     scales
@@ -81,22 +84,24 @@ let panel_f b cfg =
                   (* the sweep scales the whole noise model: 1Q errors
                      stay one order of magnitude below 2Q errors, as on
                      the real device *)
-                  let cal =
-                    Device.Sycamore.line_device ~mu ~sigma:(mu /. 2.5)
+                  let device =
+                    Device.sycamore_line ~mu ~sigma:(mu /. 2.5)
                       ~oneq:(mu /. 6.0) n_qubits
                   in
                   let placement =
-                    Option.get (Compiler.Mapping.best_line cal isa n_qubits)
+                    Option.get
+                      (Compiler.Mapping.best_line (Device.calibration device) isa
+                         n_qubits)
                   in
                   let compiled =
-                    Compiler.Pipeline.compile ~options ~cal ~isa ~placement circuit
+                    Compiler.Pipeline.compile ~options ~device ~isa ~placement circuit
                   in
                   (* isolate the swept variable (gate error): hold
                      decoherence at zero, as the paper's error-rate axis
                      does *)
                   let nm =
                     {
-                      (Compiler.Pipeline.noise_model ~cal compiled) with
+                      (Compiler.Pipeline.noise_model ~device compiled) with
                       Sim.Noisy.t1 = (fun _ -> infinity);
                       t2 = (fun _ -> infinity);
                     }
@@ -105,7 +110,7 @@ let panel_f b cfg =
                   let reference =
                     Compiler.Pipeline.compile
                       ~options:{ options with approximate = false }
-                      ~cal ~isa ~placement circuit
+                      ~device ~isa ~placement circuit
                   in
                   let ideal = Sim.State.run_circuit reference.circuit in
                   let ideal_self =
@@ -138,13 +143,13 @@ let doc ?(cfg = Config.default) () =
   let b = Report.Builder.create () in
   Report.Builder.heading b "Fig 10: Sycamore — reliability across instruction sets";
   let rng = Rng.create (cfg.Config.seed + 10) in
-  let cal = Device.Sycamore.line_device 6 in
+  let device = Device.sycamore_line 6 in
   let qv = Apps.Qv.circuits rng ~count:cfg.Config.qv_count 4 in
   let best results =
     List.fold_left (fun acc r -> Float.max acc r.Study.mean_metric) neg_infinity results
   in
   let qv_results =
-    run_suite b cfg cal
+    run_suite b cfg device
       ~label:(Printf.sprintf "(a) %d 4-qubit QV circuits — HOP" (List.length qv))
       ~metric:Study.Hop qv ~sets:isas
   in
@@ -153,7 +158,7 @@ let doc ?(cfg = Config.default) () =
     (full_fsim_degraded cfg 23 ~metric:Study.Hop qv [ 1.5; 2.0; 2.5 ]);
   let qaoa = Apps.Qaoa.circuits rng ~count:cfg.Config.qaoa_count 4 in
   let qaoa_results =
-    run_suite b cfg cal
+    run_suite b cfg device
       ~label:(Printf.sprintf "(b) %d 4-qubit QAOA circuits — XED" (List.length qaoa))
       ~metric:Study.Xed qaoa ~sets:isas
   in
@@ -162,20 +167,20 @@ let doc ?(cfg = Config.default) () =
     (full_fsim_degraded cfg 23 ~metric:Study.Xed qaoa [ 1.5; 2.0; 2.5 ]);
   let qft = make_qft_circuits cfg 4 in
   let _ =
-    run_suite b cfg cal
+    run_suite b cfg device
       ~label:
         (Printf.sprintf "(c) 4-qubit QFT (%d basis inputs) — success" (List.length qft))
       ~metric:Study.State_fidelity qft ~sets:isas
   in
   let fh = [ Apps.Fermi_hubbard.circuit 6 ] in
   let _ =
-    run_suite b cfg cal ~label:"(d) 6-qubit Fermi-Hubbard Trotter step — XEB fidelity"
+    run_suite b cfg device ~label:"(d) 6-qubit Fermi-Hubbard Trotter step — XEB fidelity"
       ~metric:Study.Xeb_fidelity fh ~sets:isas
   in
   (* (e): same QAOA suite with no cross-type noise variation *)
-  let cal_novary = Device.Sycamore.line_device ~vary:false 6 in
+  let device_novary = Device.sycamore_line ~vary:false 6 in
   let _ =
-    run_suite b cfg cal_novary
+    run_suite b cfg device_novary
       ~label:"(e) QAOA XED with NO noise variation across gate types"
       ~metric:Study.Xed qaoa ~sets:isas
   in

@@ -42,7 +42,7 @@ let panel_b b cfg =
     "(b) calibration time vs application reliability (Sycamore QAOA)";
   let rng = Rng.create (cfg.Config.seed + 11) in
   let qaoa = Apps.Qaoa.circuits rng ~count:(max 4 (cfg.Config.qaoa_count / 2)) 4 in
-  let cal = Device.Sycamore.line_device 6 in
+  let device = Device.sycamore_line 6 in
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
   (* topology-aware cost: a 54-qubit near-square grid; its greedy edge
      coloring yields the model's 4 parallel batches *)
@@ -54,7 +54,7 @@ let panel_b b cfg =
     List.map
       (fun isa ->
         let cost = Isa.Cost.on ~topology isa in
-        let r = Study.evaluate_suite ~options ~cal ~isa ~metric:Study.Xed qaoa in
+        let r = Study.evaluate_suite ~options ~device ~isa ~metric:Study.Xed qaoa in
         [
           Isa.Set.name isa;
           string_of_int cost.Isa.Cost.n_types;

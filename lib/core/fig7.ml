@@ -17,7 +17,7 @@ let error_rates cfg =
   List.sort_uniq compare (0.0062 :: pts)
 
 let evaluate cfg ~approximate ~mu circuits metric =
-  let cal = Device.Sycamore.line_device ~types:[ Gates.Gate_type.s1 ] ~mu ~sigma:(mu /. 2.5) 6 in
+  let device = Device.sycamore_line ~types:[ Gates.Gate_type.s1 ] ~mu ~sigma:(mu /. 2.5) 6 in
   let options =
     {
       Compiler.Pipeline.default_options with
@@ -26,7 +26,7 @@ let evaluate cfg ~approximate ~mu circuits metric =
       exact_threshold = 1.0 -. 1e-6;
     }
   in
-  let r = Study.evaluate_suite ~options ~cal ~isa:Isa.Set.s1 ~metric circuits in
+  let r = Study.evaluate_suite ~options ~device ~isa:Isa.Set.s1 ~metric circuits in
   r.Study.mean_metric
 
 let doc ?(cfg = Config.default) () =

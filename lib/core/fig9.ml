@@ -9,12 +9,12 @@ let isas =
 
 let stack = Compiler.Pass.default_stack
 
-let run_benchmark b cfg cal ~label ~slug ~metric circuits =
+let run_benchmark b cfg device ~label ~slug ~metric circuits =
   Report.Builder.subheading b label;
   let options = { Compiler.Pipeline.default_options with nuop = cfg.Config.nuop } in
   let results =
     List.map
-      (fun isa -> Study.evaluate_suite ~options ~stack ~cal ~isa ~metric circuits)
+      (fun isa -> Study.evaluate_suite ~options ~stack ~device ~isa ~metric circuits)
       isas
   in
   Study.add_results b ~metric results;
@@ -37,24 +37,24 @@ let doc ?(cfg = Config.default) () =
   let b = Report.Builder.create () in
   Report.Builder.heading b "Fig 9: Aspen-8 — reliability across instruction sets";
   let rng = Rng.create (cfg.Config.seed + 9) in
-  let cal = Device.Aspen8.ring_device () in
+  let device = Device.aspen8 () in
   let qv = Apps.Qv.circuits rng ~count:cfg.Config.qv_count 3 in
   let _ =
-    run_benchmark b cfg cal
+    run_benchmark b cfg device
       ~label:(Printf.sprintf "(a) %d 3-qubit QV circuits — HOP (threshold 2/3)"
                 (List.length qv))
       ~slug:"qv_hop" ~metric:Study.Hop qv
   in
   let qaoa = Apps.Qaoa.circuits rng ~count:cfg.Config.qaoa_count 4 in
   let _ =
-    run_benchmark b cfg cal
+    run_benchmark b cfg device
       ~label:(Printf.sprintf "(b) %d 4-qubit QAOA circuits — cross-entropy difference"
                 (List.length qaoa))
       ~slug:"qaoa_xed" ~metric:Study.Xed qaoa
   in
   let qft = qft_circuits cfg in
   let _ =
-    run_benchmark b cfg cal
+    run_benchmark b cfg device
       ~label:
         (Printf.sprintf "(c) 3-qubit QFT (%d basis inputs) — success rate"
            (List.length qft))

@@ -86,6 +86,11 @@ let all =
       description = "searched instruction sets (Pareto frontier)";
       run = (fun cfg -> Design.doc ~cfg ());
     };
+    {
+      name = "drift";
+      description = "fresh vs drifted vs recalibrated snapshots";
+      run = (fun cfg -> Drift_study.doc ~cfg ());
+    };
   ]
 
 let find name = List.find_opt (fun e -> String.equal e.name name) all

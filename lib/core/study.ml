@@ -33,7 +33,8 @@ type evaluation = {
 
 (* Analytic ESP of a compiled executable: Metrics.Esp over the compiled
    schedule, with calibration data mapped into the compact space. *)
-let esp ~cal (compiled : Compiler.Pipeline.compiled) =
+let esp ~device (compiled : Compiler.Pipeline.compiled) =
+  let cal = Device.calibration device in
   let dev q = compiled.Compiler.Pipeline.qubit_map.(q) in
   (Metrics.Esp.estimate ~twoq_errors:compiled.Compiler.Pipeline.twoq_errors
      ~oneq_error:(fun q -> Device.Calibration.oneq_error cal (dev q))
@@ -45,15 +46,15 @@ let esp ~cal (compiled : Compiler.Pipeline.compiled) =
 
 (* Evaluate one circuit. *)
 let evaluate_circuit ?(options = Compiler.Pipeline.default_options)
-    ?(stack = Compiler.Pass.default_stack) ~cal ~isa ~metric circuit =
+    ?(stack = Compiler.Pass.default_stack) ~device ~isa ~metric circuit =
   let n = Qcir.Circuit.n_qubits circuit in
   let placement =
-    match Compiler.Mapping.best_line cal isa n with
+    match Compiler.Mapping.best_line (Device.calibration device) isa n with
     | Some p -> p
     | None -> invalid_arg "Study.evaluate_circuit: no placement"
   in
-  let compiled = Compiler.Pipeline.compile ~options ~stack ~cal ~isa ~placement circuit in
-  let nm = Compiler.Pipeline.noise_model ~cal compiled in
+  let compiled = Compiler.Pipeline.compile ~options ~stack ~device ~isa ~placement circuit in
+  let nm = Compiler.Pipeline.noise_model ~device compiled in
   let value =
     match metric with
     | Hop | Xed | Xeb_fidelity ->
@@ -74,7 +75,7 @@ let evaluate_circuit ?(options = Compiler.Pipeline.default_options)
         { options with approximate = false; exact_threshold = 1.0 -. 1e-8 }
       in
       let reference =
-        Compiler.Pipeline.compile ~options:exact_options ~stack ~cal ~isa ~placement
+        Compiler.Pipeline.compile ~options:exact_options ~stack ~device ~isa ~placement
           circuit
       in
       let ideal_state = Sim.State.run_circuit reference.circuit in
@@ -86,7 +87,7 @@ let evaluate_circuit ?(options = Compiler.Pipeline.default_options)
     twoq = compiled.twoq_count;
     swaps = compiled.swap_count;
     duration = compiled.duration;
-    esp = esp ~cal compiled;
+    esp = esp ~device compiled;
   }
 
 (* The per-circuit evaluations are independent (the only shared mutable
@@ -94,12 +95,12 @@ let evaluate_circuit ?(options = Compiler.Pipeline.default_options)
    run on the Domain pool.  Every circuit's value is deterministic and
    the mean is reduced in list order, so the result record is identical
    at every pool size — the determinism test in test_core locks this. *)
-let evaluate_suite ?options ?stack ?domains ~cal ~isa ~metric circuits =
+let evaluate_suite ?options ?stack ?domains ~device ~isa ~metric circuits =
   assert (circuits <> []);
   let n = float_of_int (List.length circuits) in
   let evaluations =
     Parallel.map ?domains
-      (fun circuit -> evaluate_circuit ?options ?stack ~cal ~isa ~metric circuit)
+      (fun circuit -> evaluate_circuit ?options ?stack ~device ~isa ~metric circuit)
       circuits
   in
   let sum_m, sum_g, sum_s, sum_d, sum_e =

@@ -21,7 +21,7 @@ type evaluation = {
   esp : float;  (** analytic estimated success probability *)
 }
 
-val esp : cal:Device.Calibration.t -> Compiler.Pipeline.compiled -> float
+val esp : device:Device.t -> Compiler.Pipeline.compiled -> float
 (** {!Metrics.Esp.estimate} over the compiled schedule with the device's
     calibration data (readout excluded, matching density-sim state
     fidelities). *)
@@ -29,7 +29,7 @@ val esp : cal:Device.Calibration.t -> Compiler.Pipeline.compiled -> float
 val evaluate_circuit :
   ?options:Compiler.Pipeline.options ->
   ?stack:Compiler.Pass.t list ->
-  cal:Device.Calibration.t ->
+  device:Device.t ->
   isa:Isa.Set.t ->
   metric:metric ->
   Qcir.Circuit.t ->
@@ -42,7 +42,7 @@ val evaluate_suite :
   ?options:Compiler.Pipeline.options ->
   ?stack:Compiler.Pass.t list ->
   ?domains:int ->
-  cal:Device.Calibration.t ->
+  device:Device.t ->
   isa:Isa.Set.t ->
   metric:metric ->
   Qcir.Circuit.t list ->

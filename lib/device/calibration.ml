@@ -49,15 +49,28 @@ let make ~topology ~oneq_error ~readout_error ~t1 ~t2 ~duration_1q ~duration_2q
 
 let topology t = t.topology
 
-let set_twoq_error t edge gate_type err =
+(* Every per-edge lookup and update validates adjacency up front so a
+   routing bug surfaces as a named edge + gate type, not a silent
+   fallback or a bare [Not_found] from a device's family closure
+   (mirrors the [Topology.shortest_path] precedent). *)
+let check_edge t fn edge gate =
   let a, b = Topology.canonical edge in
+  if not (Topology.are_adjacent t.topology a b) then
+    invalid_arg
+      (Printf.sprintf
+         "Calibration.%s: (%d,%d) is not an edge of the topology (gate type %s)"
+         fn a b gate);
+  (a, b)
+
+let set_twoq_error t edge gate_type err =
+  let a, b = check_edge t "set_twoq_error" edge (Gates.Gate_type.name gate_type) in
   assert (err >= 0.0 && err < 1.0);
   Hashtbl.replace t.twoq_error (a, b, Gates.Gate_type.name gate_type) err
 
 let clamp_error e = Float.max 1e-6 (Float.min 0.5 e)
 
 let twoq_error t edge gate_type =
-  let a, b = Topology.canonical edge in
+  let a, b = check_edge t "twoq_error" edge (Gates.Gate_type.name gate_type) in
   match gate_type with
   | Gates.Gate_type.Fixed _ -> begin
     match Hashtbl.find_opt t.twoq_error (a, b, Gates.Gate_type.name gate_type) with
@@ -72,7 +85,7 @@ let twoq_error t edge gate_type =
     clamp_error (t.family_error_scale *. t.family_error (a, b) [||])
 
 let family_angle_error t edge angles =
-  let e = Topology.canonical edge in
+  let e = check_edge t "family_angle_error" edge "family" in
   clamp_error (t.family_error_scale *. t.family_error e angles)
 
 let twoq_fidelity t edge gate_type = 1.0 -. twoq_error t edge gate_type
@@ -80,12 +93,12 @@ let twoq_fidelity t edge gate_type = 1.0 -. twoq_error t edge gate_type
 (* ---------- per-type gate durations ---------- *)
 
 let set_twoq_duration t edge gate_type dur =
-  let a, b = Topology.canonical edge in
+  let a, b = check_edge t "set_twoq_duration" edge (Gates.Gate_type.name gate_type) in
   if not (dur > 0.0) then invalid_arg "Calibration.set_twoq_duration: need dur > 0";
   Hashtbl.replace t.twoq_duration (a, b, Gates.Gate_type.name gate_type) dur
 
 let twoq_duration_by_name t edge name =
-  let a, b = Topology.canonical edge in
+  let a, b = check_edge t "twoq_duration" edge name in
   match Hashtbl.find_opt t.twoq_duration (a, b, name) with
   | Some d -> d
   | None -> t.duration_2q
@@ -152,3 +165,44 @@ let mean_twoq_error t gate_type =
   match es with
   | [] -> 0.0
   | _ -> List.fold_left ( +. ) 0.0 es /. float_of_int (List.length es)
+
+(* ---------- snapshot access (Device JSON serialization, drift) ---------- *)
+
+let copy t =
+  {
+    t with
+    oneq_error = Array.copy t.oneq_error;
+    readout_error = Array.copy t.readout_error;
+    t1 = Array.copy t.t1;
+    t2 = Array.copy t.t2;
+    twoq_error = Hashtbl.copy t.twoq_error;
+    twoq_duration = Hashtbl.copy t.twoq_duration;
+  }
+
+let oneq_errors t = Array.copy t.oneq_error
+let readout_errors t = Array.copy t.readout_error
+let t1_times t = Array.copy t.t1
+let t2_times t = Array.copy t.t2
+let family_error_scale t = t.family_error_scale
+
+let family_base_error t edge =
+  let e = check_edge t "family_base_error" edge "family" in
+  t.family_error e [||]
+
+let sorted_entries tbl =
+  Hashtbl.fold (fun (a, b, name) v acc -> ((a, b), name, v) :: acc) tbl []
+  |> List.sort compare
+
+let twoq_error_entries t = sorted_entries t.twoq_error
+let twoq_duration_entries t = sorted_entries t.twoq_duration
+
+let set_twoq_error_by_name t edge name err =
+  let a, b = check_edge t "set_twoq_error" edge name in
+  if not (err >= 0.0 && err < 1.0) then
+    invalid_arg "Calibration.set_twoq_error: need 0 <= err < 1";
+  Hashtbl.replace t.twoq_error (a, b, name) err
+
+let set_twoq_duration_by_name t edge name dur =
+  let a, b = check_edge t "set_twoq_duration" edge name in
+  if not (dur > 0.0) then invalid_arg "Calibration.set_twoq_duration: need dur > 0";
+  Hashtbl.replace t.twoq_duration (a, b, name) dur

@@ -22,12 +22,16 @@ val make :
 val topology : t -> Topology.t
 
 val set_twoq_error : t -> int * int -> Gates.Gate_type.t -> float -> unit
-(** Record the measured error rate of a fixed gate type on an edge. *)
+(** Record the measured error rate of a fixed gate type on an edge.
+    Raises [Invalid_argument] naming the pair and gate type when the pair
+    is not an edge of the topology. *)
 
 val twoq_error : t -> int * int -> Gates.Gate_type.t -> float
 (** Error rate of a gate type on an edge.  For family types, evaluates the
     per-edge family error (angle-independent form).  Raises
-    [Invalid_argument] when a fixed type has no data on the edge. *)
+    [Invalid_argument] naming the pair and gate type when the pair is not
+    an edge of the topology, or when a fixed type has no data on the
+    edge. *)
 
 val family_angle_error : t -> int * int -> float array -> float
 (** Error rate for a continuous-family gate at specific angles. *)
@@ -41,7 +45,8 @@ val set_twoq_duration : t -> int * int -> Gates.Gate_type.t -> float -> unit
 val twoq_duration : t -> int * int -> Gates.Gate_type.t -> float
 (** Duration of a gate type on an edge; falls back to the device-wide
     [duration_2q] scalar when the type has no entry (the pre-refactor
-    behaviour). *)
+    behaviour).  Raises [Invalid_argument] naming the pair and gate type
+    when the pair is not an edge of the topology. *)
 
 val twoq_duration_by_name : t -> int * int -> string -> float
 (** Same lookup keyed by gate name — the form compiled instructions use
@@ -73,3 +78,35 @@ val map_twoq_errors : t -> ((int * int) -> string -> float -> float) -> unit
 
 val known_types : t -> int * int -> string list
 val mean_twoq_error : t -> Gates.Gate_type.t -> float
+
+(** {2 Snapshot access}
+
+    Structural accessors used by device JSON snapshots and the drift
+    simulation.  They expose copies, never the internal tables. *)
+
+val copy : t -> t
+(** Deep copy: mutating the copy's errors or durations leaves the
+    original untouched (the continuous-family closure is shared — it is
+    immutable by construction). *)
+
+val oneq_errors : t -> float array
+val readout_errors : t -> float array
+val t1_times : t -> float array
+val t2_times : t -> float array
+
+val family_error_scale : t -> float
+
+val family_base_error : t -> int * int -> float
+(** The unscaled per-edge continuous-family base error (evaluated at the
+    empty angle vector) — the value device snapshots persist. *)
+
+val twoq_error_entries : t -> ((int * int) * string * float) list
+(** Every stored fixed-type error as [(edge, type name, error)], sorted
+    for deterministic serialization. *)
+
+val twoq_duration_entries : t -> ((int * int) * string * float) list
+
+val set_twoq_error_by_name : t -> int * int -> string -> float -> unit
+(** {!set_twoq_error} keyed by gate name (snapshot loading). *)
+
+val set_twoq_duration_by_name : t -> int * int -> string -> float -> unit

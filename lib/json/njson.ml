@@ -1,0 +1,290 @@
+(* Minimal JSON tree, emitter and parser.
+
+   The toolchain has no JSON package baked in, and the results layer only
+   needs a small, dependable subset: emit the bench/report artifacts and
+   parse them back for round-trip tests and the CI completeness check.
+   Floats are printed with the shortest representation that survives a
+   [float_of_string] round trip; NaN and infinities (possible in heatmap
+   cells) are emitted as [null] / sentinel strings. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------- emission ---------- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr v =
+  if Float.is_nan v then "null"
+  else if v = Float.infinity then "1e999"
+  else if v = Float.neg_infinity then "-1e999"
+  else begin
+    let s = Printf.sprintf "%.12g" v in
+    let s = if float_of_string s = v then s else Printf.sprintf "%.17g" v in
+    (* make sure the token stays a JSON number AND parses back as a float
+       (a bare mantissa like "3" would re-parse as Int) *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ ".0"
+  end
+
+let rec emit buf ~indent ~level v =
+  let pad n = if indent > 0 then Buffer.add_string buf (String.make (indent * n) ' ') in
+  let newline () = if indent > 0 then Buffer.add_char buf '\n' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_string buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_char buf '[';
+    newline ();
+    List.iteri
+      (fun i item ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          newline ()
+        end;
+        pad (level + 1);
+        emit buf ~indent ~level:(level + 1) item)
+      items;
+    newline ();
+    pad level;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    newline ();
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          newline ()
+        end;
+        pad (level + 1);
+        escape_string buf k;
+        Buffer.add_string buf (if indent > 0 then ": " else ":");
+        emit buf ~indent ~level:(level + 1) item)
+      fields;
+    newline ();
+    pad level;
+    Buffer.add_char buf '}'
+
+let to_string ?(indent = 2) v =
+  let buf = Buffer.create 4096 in
+  emit buf ~indent ~level:0 v;
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let fail_at st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && (match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance st
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | _ -> fail_at st (Printf.sprintf "expected '%c'" c)
+
+let parse_literal st word value =
+  if
+    st.pos + String.length word <= String.length st.src
+    && String.sub st.src st.pos (String.length word) = word
+  then begin
+    st.pos <- st.pos + String.length word;
+    value
+  end
+  else fail_at st (Printf.sprintf "expected %s" word)
+
+let parse_string_token st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail_at st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> begin
+      advance st;
+      (match peek st with
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '/' -> Buffer.add_char buf '/'
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'b' -> Buffer.add_char buf '\b'
+      | Some 'f' -> Buffer.add_char buf '\012'
+      | Some 'u' ->
+        if st.pos + 4 >= String.length st.src then fail_at st "bad \\u escape";
+        let hex = String.sub st.src (st.pos + 1) 4 in
+        let code =
+          try int_of_string ("0x" ^ hex) with _ -> fail_at st "bad \\u escape"
+        in
+        (* escapes we emit are all < 0x20; decode the BMP subset as UTF-8 *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end;
+        st.pos <- st.pos + 4
+      | _ -> fail_at st "bad escape");
+      advance st;
+      loop ()
+    end
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let number_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> number_char c | None -> false) do
+    advance st
+  done;
+  let token = String.sub st.src start (st.pos - start) in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') token then begin
+    match float_of_string_opt token with
+    | Some f -> Float f
+    | None -> fail_at st "bad number"
+  end
+  else
+    match int_of_string_opt token with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt token with
+      | Some f -> Float f
+      | None -> fail_at st "bad number")
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail_at st "unexpected end of input"
+  | Some 'n' -> parse_literal st "null" Null
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some '"' -> String (parse_string_token st)
+  | Some '[' -> begin
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          items (v :: acc)
+        | Some ']' ->
+          advance st;
+          List.rev (v :: acc)
+        | _ -> fail_at st "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  end
+  | Some '{' -> begin
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws st;
+        let k = parse_string_token st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        (k, v)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          fields (kv :: acc)
+        | Some '}' ->
+          advance st;
+          List.rev (kv :: acc)
+        | _ -> fail_at st "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  end
+  | Some _ -> parse_number st
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail_at st "trailing garbage";
+  v
+
+(* ---------- accessors ---------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function List items -> Some items | _ -> None
+
+let to_string_value = function String s -> Some s | _ -> None
+
+let to_float_value = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None

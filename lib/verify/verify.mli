@@ -60,5 +60,11 @@ val isa : (string * (unit -> unit)) list
     reconstructs that set, Pareto frontiers are undominated and cover
     the input, and the scorer is Domain-pool-size invariant. *)
 
+val device : (string * (unit -> unit)) list
+(** Devices as data: JSON snapshots round-trip every stored float bit
+    for bit, the registry is total (and case-insensitive) over its own
+    names, and {!Calibration.Drift.perturb} is pure and only ever
+    inflates stored errors (multipliers >= 1, hours accumulating). *)
+
 val all : (string * (string * (unit -> unit)) list) list
 (** Every group above, keyed by name, in dependency order. *)

@@ -166,9 +166,9 @@ let small_circuit () =
   Apps.Qv.circuit rng 3
 
 let test_pipeline_hardware_gates_only () =
-  let cal = Device.Sycamore.line_device 4 in
+  let device = Device.sycamore_line 4 in
   let compiled =
-    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Isa.Set.g2
+    Compiler.Pipeline.compile ~options:fast_options ~device ~isa:Isa.Set.g2
       (small_circuit ())
   in
   let allowed =
@@ -183,10 +183,10 @@ let test_pipeline_hardware_gates_only () =
 
 let test_pipeline_exact_reproduces_logical () =
   (* exact compile + noiseless run = logical distribution *)
-  let cal = Device.Sycamore.line_device 4 in
+  let device = Device.sycamore_line 4 in
   let circuit = small_circuit () in
   let options = { fast_options with approximate = false; exact_threshold = 1.0 -. 1e-8 } in
-  let compiled = Compiler.Pipeline.compile ~options ~cal ~isa:Isa.Set.s3 circuit in
+  let compiled = Compiler.Pipeline.compile ~options ~device ~isa:Isa.Set.s3 circuit in
   let probs = Sim.Noisy.output_probabilities Sim.Noisy.ideal compiled.Compiler.Pipeline.circuit in
   let logical = Compiler.Pipeline.logical_probabilities compiled probs in
   let expect = Sim.State.probabilities (Sim.State.run_circuit circuit) in
@@ -195,22 +195,22 @@ let test_pipeline_exact_reproduces_logical () =
     expect
 
 let test_pipeline_swap_native_reduces_count () =
-  let cal = Device.Sycamore.line_device 6 in
+  let device = Device.sycamore_line 6 in
   let rng = Rng.create 8 in
   let circuit = Apps.Qaoa.circuit rng 4 in
   let with_swap =
-    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Isa.Set.g7 circuit
+    Compiler.Pipeline.compile ~options:fast_options ~device ~isa:Isa.Set.g7 circuit
   in
   let without =
-    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Isa.Set.g6 circuit
+    Compiler.Pipeline.compile ~options:fast_options ~device ~isa:Isa.Set.g6 circuit
   in
   check_bool "fewer gates with SWAP" true
     (with_swap.Compiler.Pipeline.twoq_count < without.Compiler.Pipeline.twoq_count)
 
 let test_pipeline_errors_aligned () =
-  let cal = Device.Sycamore.line_device 4 in
+  let device = Device.sycamore_line 4 in
   let compiled =
-    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Isa.Set.s1
+    Compiler.Pipeline.compile ~options:fast_options ~device ~isa:Isa.Set.s1
       (small_circuit ())
   in
   check_int "one error per instruction"
@@ -245,9 +245,9 @@ let test_pipeline_adaptive_beats_blind () =
     >= Decompose.Nuop.overall_fidelity blind -. 1e-9)
 
 let test_pipeline_logical_probabilities_marginalize () =
-  let cal = Device.Sycamore.line_device 5 in
+  let device = Device.sycamore_line 5 in
   let compiled =
-    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Isa.Set.s2
+    Compiler.Pipeline.compile ~options:fast_options ~device ~isa:Isa.Set.s2
       (small_circuit ())
   in
   let probs = Sim.Noisy.output_probabilities Sim.Noisy.ideal compiled.Compiler.Pipeline.circuit in
@@ -256,9 +256,9 @@ let test_pipeline_logical_probabilities_marginalize () =
   Alcotest.(check (float 1e-6)) "normalized" 1.0 (Array.fold_left ( +. ) 0.0 logical)
 
 let test_pipeline_full_family () =
-  let cal = Device.Sycamore.line_device 4 in
+  let device = Device.sycamore_line 4 in
   let compiled =
-    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Isa.Set.full_fsim
+    Compiler.Pipeline.compile ~options:fast_options ~device ~isa:Isa.Set.full_fsim
       (small_circuit ())
   in
   (* continuous set: on average at most ~2 gates per unitary + routing *)
@@ -304,28 +304,29 @@ let check_same_compiled label (a : Compiler.Pipeline.compiled)
    on the fig9/fig10-style configurations *)
 let test_pass_default_stack_matches_reference () =
   List.iter
-    (fun (label, cal, isa, circuit) ->
-      let a = Compiler.Pipeline.compile ~options:fast_options ~cal ~isa circuit in
+    (fun (label, device, isa, circuit) ->
+      let cal = Device.calibration device in
+      let a = Compiler.Pipeline.compile ~options:fast_options ~device ~isa circuit in
       let b =
         Compiler.Pipeline.compile_reference ~options:fast_options ~cal ~isa circuit
       in
       check_same_compiled label a b)
     [
       ( "fig10 QV",
-        Device.Sycamore.line_device 4,
+        Device.sycamore_line 4,
         Isa.Set.g2,
         Apps.Qv.circuit (Rng.create 7) 3 );
       ( "fig9 QAOA",
-        Device.Aspen8.ring_device (),
+        Device.aspen8 (),
         Isa.Set.r2,
         Apps.Qaoa.circuit (Rng.create 8) 4 );
     ]
 
 let test_pass_metrics_recorded () =
-  let cal = Device.Sycamore.line_device 4 in
+  let device = Device.sycamore_line 4 in
   Decompose.Cache.clear ();
   let compiled, metrics =
-    Compiler.Pipeline.compile_with_metrics ~options:fast_options ~cal
+    Compiler.Pipeline.compile_with_metrics ~options:fast_options ~device
       ~isa:Isa.Set.g2
       (Apps.Qaoa.circuit (Rng.create 3) 4)
   in
@@ -345,14 +346,14 @@ let test_pass_metrics_recorded () =
     final.Compiler.Pass_manager.twoq_after
 
 let test_pass_merge_oneq_preserves_unitary () =
-  let cal = Device.Sycamore.line_device 4 in
+  let device = Device.sycamore_line 4 in
   let circuit = small_circuit () in
   let plain =
-    Compiler.Pipeline.compile ~options:fast_options ~cal ~isa:Isa.Set.g2 circuit
+    Compiler.Pipeline.compile ~options:fast_options ~device ~isa:Isa.Set.g2 circuit
   in
   let merged =
     Compiler.Pipeline.compile ~options:fast_options
-      ~stack:Compiler.Pass.optimized_stack ~cal ~isa:Isa.Set.g2 circuit
+      ~stack:Compiler.Pass.optimized_stack ~device ~isa:Isa.Set.g2 circuit
   in
   let n1 = Qcir.Circuit.one_qubit_count plain.Compiler.Pipeline.circuit in
   let n2 = Qcir.Circuit.one_qubit_count merged.Compiler.Pipeline.circuit in
@@ -394,14 +395,14 @@ let test_pass_elide_trivial () =
   check_bool "unitary preserved" true (d < 1e-9)
 
 let test_pass_stack_requires_compact () =
-  let cal = Device.Sycamore.line_device 4 in
+  let device = Device.sycamore_line 4 in
   let no_compact =
     [ Compiler.Pass.placement; Compiler.Pass.route (); Compiler.Pass.lower ]
   in
   check_bool "raises without compact" true
     (try
        ignore
-         (Compiler.Pipeline.compile ~options:fast_options ~stack:no_compact ~cal
+         (Compiler.Pipeline.compile ~options:fast_options ~stack:no_compact ~device
             ~isa:Isa.Set.s3 (small_circuit ()));
        false
      with Invalid_argument _ -> true)

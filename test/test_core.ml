@@ -14,10 +14,10 @@ let test_config_scales () =
 
 let test_study_qv_hop () =
   let rng = Rng.create 31 in
-  let cal = Device.Sycamore.line_device 4 in
+  let device = Device.sycamore_line 4 in
   let circuits = Apps.Qv.circuits rng ~count:2 3 in
   let r =
-    Core.Study.evaluate_suite ~options:tiny_options ~cal ~isa:Isa.Set.g2
+    Core.Study.evaluate_suite ~options:tiny_options ~device ~isa:Isa.Set.g2
       ~metric:Core.Study.Hop circuits
   in
   check_bool "hop plausible" true
@@ -26,10 +26,10 @@ let test_study_qv_hop () =
 
 let test_study_metrics_distinct () =
   let rng = Rng.create 32 in
-  let cal = Device.Sycamore.line_device 4 in
+  let device = Device.sycamore_line 4 in
   let circuit = Apps.Qaoa.circuit rng 3 in
   let e =
-    Core.Study.evaluate_circuit ~options:tiny_options ~cal ~isa:Isa.Set.s3
+    Core.Study.evaluate_circuit ~options:tiny_options ~device ~isa:Isa.Set.s3
       ~metric:Core.Study.Xed circuit
   in
   check_bool "xed bounded" true (e.Core.Study.value <= 1.0 +. 1e-9);
@@ -55,9 +55,13 @@ let test_study_state_fidelity_noiseless () =
         (fun ty -> Device.Calibration.set_twoq_error cal e ty 1e-6)
         (Isa.Set.gate_types Isa.Set.g2))
     (Device.Topology.edges topology);
+  let device =
+    Device.v ~name:"ideal-line3" ~description:"noiseless 3-qubit line"
+      ~calibration:cal ~native_isa:Isa.Set.g2 ()
+  in
   let circuit = Apps.Qft.circuit 3 in
   let e =
-    Core.Study.evaluate_circuit ~options:tiny_options ~cal ~isa:Isa.Set.g2
+    Core.Study.evaluate_circuit ~options:tiny_options ~device ~isa:Isa.Set.g2
       ~metric:Core.Study.State_fidelity circuit
   in
   check_bool "near 1" true (e.Core.Study.value > 0.99)
@@ -66,10 +70,10 @@ let test_multi_gate_sets_not_worse () =
   (* the headline claim at tiny scale: a multi-type set is at least as
      good as the single-type sets it contains, on average *)
   let rng = Rng.create 33 in
-  let cal = Device.Aspen8.ring_device () in
+  let device = Device.aspen8 () in
   let circuits = Apps.Qaoa.circuits rng ~count:3 3 in
   let eval isa =
-    (Core.Study.evaluate_suite ~options:tiny_options ~cal ~isa
+    (Core.Study.evaluate_suite ~options:tiny_options ~device ~isa
        ~metric:Core.Study.Xed circuits)
       .Core.Study.mean_metric
   in
@@ -82,10 +86,10 @@ let test_swap_native_instruction_reduction () =
   (* R5's native SWAP must reduce two-qubit counts vs R4 on routed
      workloads — the Fig 9/10 mechanism *)
   let rng = Rng.create 34 in
-  let cal = Device.Aspen8.ring_device () in
+  let device = Device.aspen8 () in
   let circuits = Apps.Qv.circuits rng ~count:2 4 in
   let gates isa =
-    (Core.Study.evaluate_suite ~options:tiny_options ~cal ~isa
+    (Core.Study.evaluate_suite ~options:tiny_options ~device ~isa
        ~metric:Core.Study.Hop circuits)
       .Core.Study.mean_twoq
   in
@@ -128,12 +132,13 @@ let test_json_escapes () =
   check_bool "roundtrip" true (Core.Json.of_string (Core.Json.to_string j) = j)
 
 let test_registry_complete () =
-  Alcotest.(check int) "15 experiments" 15 (List.length Core.Registry.all);
+  Alcotest.(check int) "16 experiments" 16 (List.length Core.Registry.all);
   check_bool "names unique" true
     (List.length (List.sort_uniq compare Core.Registry.names)
     = List.length Core.Registry.names);
   check_bool "find fig9" true (Option.is_some (Core.Registry.find "fig9"));
   check_bool "find design" true (Option.is_some (Core.Registry.find "design"));
+  check_bool "find drift" true (Option.is_some (Core.Registry.find "drift"));
   check_bool "find unknown" true (Option.is_none (Core.Registry.find "fig99"))
 
 (* ---------- parallel evaluation ---------- *)
@@ -156,11 +161,11 @@ let test_evaluate_suite_pool_invariant () =
   (* the acceptance criterion: identical result records at pool size 1
      and N on a small QV suite *)
   let rng = Rng.create 35 in
-  let cal = Device.Sycamore.line_device 4 in
+  let device = Device.sycamore_line 4 in
   let circuits = Apps.Qv.circuits rng ~count:3 3 in
   let eval domains =
     Decompose.Cache.clear ();
-    Core.Study.evaluate_suite ~options:tiny_options ~domains ~cal
+    Core.Study.evaluate_suite ~options:tiny_options ~domains ~device
       ~isa:Isa.Set.g2 ~metric:Core.Study.Hop circuits
   in
   let seq = eval 1 in

@@ -99,6 +99,30 @@ let test_calibration_missing_raises () =
     (Invalid_argument "Calibration.twoq_error: no data for CZ on (1,2)") (fun () ->
       ignore (Device.Calibration.twoq_error cal (1, 2) Gates.Gate_type.s3))
 
+let test_calibration_non_edge_raises () =
+  (* a pair outside the topology is a caller bug, and the error names the
+     offending edge and gate type (the Topology.shortest_path precedent)
+     instead of silently missing the table *)
+  let cal = make_cal () in
+  Alcotest.check_raises "twoq_error"
+    (Invalid_argument
+       "Calibration.twoq_error: (0,2) is not an edge of the topology (gate type CZ)")
+    (fun () -> ignore (Device.Calibration.twoq_error cal (0, 2) Gates.Gate_type.s3));
+  Alcotest.check_raises "set_twoq_error"
+    (Invalid_argument
+       "Calibration.set_twoq_error: (0,2) is not an edge of the topology (gate type CZ)")
+    (fun () -> Device.Calibration.set_twoq_error cal (0, 2) Gates.Gate_type.s3 0.01);
+  Alcotest.check_raises "twoq_duration"
+    (Invalid_argument
+       "Calibration.twoq_duration: (0,2) is not an edge of the topology (gate type CZ)")
+    (fun () ->
+      ignore (Device.Calibration.twoq_duration cal (0, 2) Gates.Gate_type.s3));
+  (* canonical edge ordering applies before the check: (2,0) = (0,2) *)
+  Alcotest.check_raises "reversed"
+    (Invalid_argument
+       "Calibration.twoq_error: (0,2) is not an edge of the topology (gate type CZ)")
+    (fun () -> ignore (Device.Calibration.twoq_error cal (2, 0) Gates.Gate_type.s3))
+
 let test_calibration_family () =
   let cal = make_cal () in
   check_float "family" 0.005
@@ -249,6 +273,44 @@ let test_sycamore_mu_override () =
   check_bool "low error" true (err < 0.001);
   check_float "oneq" 3e-5 (Device.Calibration.oneq_error cal 0)
 
+(* ---------- Device records and snapshots ---------- *)
+
+let check_float_exact = Alcotest.(check (float 0.0))
+
+(* every stored float of the committed golden snapshot must equal the
+   registry builder bit for bit: a compile against the file is then
+   guaranteed to reproduce a compile against `--device aspen8` *)
+let test_golden_snapshot_matches_builder () =
+  let golden = Device.of_file "golden/aspen8.json" in
+  let built = Device.aspen8 () in
+  Alcotest.(check string) "name" (Device.name built) (Device.name golden);
+  check_int "qubits" (Device.n_qubits built) (Device.n_qubits golden);
+  let module C = Device.Calibration in
+  let a = Device.calibration golden and b = Device.calibration built in
+  check_bool "edges" true
+    (Device.Topology.edges (C.topology a) = Device.Topology.edges (C.topology b));
+  check_bool "1q errors" true (C.oneq_errors a = C.oneq_errors b);
+  check_bool "readout" true (C.readout_errors a = C.readout_errors b);
+  check_bool "t1" true (C.t1_times a = C.t1_times b);
+  check_bool "t2" true (C.t2_times a = C.t2_times b);
+  check_float_exact "d1q" (C.duration_1q b) (C.duration_1q a);
+  check_float_exact "d2q" (C.duration_2q b) (C.duration_2q a);
+  check_bool "2q error table" true (C.twoq_error_entries a = C.twoq_error_entries b);
+  check_bool "2q duration table" true
+    (C.twoq_duration_entries a = C.twoq_duration_entries b);
+  check_bool "native set" true
+    (List.map Gates.Gate_type.name (Isa.Set.gate_types (Device.native_isa golden))
+    = List.map Gates.Gate_type.name (Isa.Set.gate_types (Device.native_isa built)))
+
+let test_device_registry_lookup () =
+  check_bool "case-insensitive" true
+    (Option.is_some (Device.Registry.find "Aspen8"));
+  check_bool "unknown" true (Option.is_none (Device.Registry.find "aspen9"));
+  Alcotest.check_raises "find_exn lists names"
+    (Invalid_argument
+       "Device.Registry: unknown device \"aspen9\" (known: aspen8, sycamore, sycamore54)")
+    (fun () -> ignore (Device.Registry.find_exn "aspen9"))
+
 let () =
   Alcotest.run "device"
     [
@@ -267,6 +329,7 @@ let () =
         [
           Alcotest.test_case "set/get" `Quick test_calibration_set_get;
           Alcotest.test_case "missing raises" `Quick test_calibration_missing_raises;
+          Alcotest.test_case "non-edge raises" `Quick test_calibration_non_edge_raises;
           Alcotest.test_case "family errors" `Quick test_calibration_family;
           Alcotest.test_case "error scaling" `Quick test_calibration_error_scale;
           Alcotest.test_case "per-type durations" `Quick test_calibration_durations;
@@ -286,5 +349,10 @@ let () =
           Alcotest.test_case "vary flag" `Quick test_sycamore_vary_flag;
           Alcotest.test_case "duration table" `Quick test_sycamore_durations;
           Alcotest.test_case "mu override" `Quick test_sycamore_mu_override;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "golden snapshot" `Quick test_golden_snapshot_matches_builder;
+          Alcotest.test_case "registry lookup" `Quick test_device_registry_lookup;
         ] );
     ]

@@ -187,7 +187,7 @@ let test_superoperator_matches_kraus () =
 let test_compiled_gates_respect_isa_matrices () =
   (* every two-qubit gate the pipeline emits must exactly equal one of
      the ISA's calibrated unitaries *)
-  let cal = Device.Sycamore.line_device 4 in
+  let device = Device.sycamore_line 4 in
   let isa = Isa.Set.g3 in
   let rng = Rng.create 21 in
   let circuit = Apps.Qv.circuit rng 3 in
@@ -198,7 +198,7 @@ let test_compiled_gates_respect_isa_matrices () =
           Compiler.Pipeline.default_options with
           nuop = { Decompose.Nuop.default_options with starts = 2 };
         }
-      ~cal ~isa circuit
+      ~device ~isa circuit
   in
   let unitaries =
     List.map (fun ty -> Gates.Gate_type.instantiate ty [||]) (Isa.Set.gate_types isa)

@@ -336,7 +336,7 @@ let test_scheduled_bit_identical_random () =
 let test_scheduled_bit_identical_fig9 () =
   (* the fig9 quick-scale configuration: Aspen-8 pipeline output run
      under the pipeline noise model *)
-  let cal = Device.Aspen8.ring_device () in
+  let device = Device.aspen8 () in
   let options =
     {
       Compiler.Pipeline.default_options with
@@ -346,8 +346,8 @@ let test_scheduled_bit_identical_fig9 () =
   let rng = Rng.create 2021 in
   List.iter
     (fun circuit ->
-      let compiled = Compiler.Pipeline.compile ~options ~cal ~isa:Isa.Set.r2 circuit in
-      let nm = Compiler.Pipeline.noise_model ~cal compiled in
+      let compiled = Compiler.Pipeline.compile ~options ~device ~isa:Isa.Set.r2 circuit in
+      let nm = Compiler.Pipeline.noise_model ~device compiled in
       let c = compiled.Compiler.Pipeline.circuit in
       let a = Sim.Density.probabilities (reference_run_scheduled nm c) in
       let b = Sim.Density.probabilities (Sim.Noisy.run_scheduled nm c) in
