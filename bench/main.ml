@@ -191,9 +191,58 @@ let verify_json file =
     exit 1);
   Printf.printf "%s: all %d experiments present\n" file (List.length found)
 
+(* ---------- warm-vs-cold cache comparison ---------- *)
+
+(* `bench <names...> --cache FILE` (or `bench all --cache FILE`) runs
+   every selected experiment twice: once cold (empty decomposition
+   cache) and once warmed from FILE, which is (re)written from the cold
+   run's curves in between.  Because curves are deterministic, the two
+   report texts must be byte-identical whenever the report itself embeds
+   no cache statistics (the ablations pass-metrics table legitimately
+   differs: its misses become warm hits).  The comparison table is the
+   warm/cold wall-time evidence for the persistence layer. *)
+let run_cached cfg file entries =
+  let rows =
+    List.map
+      (fun (e : Core.Registry.entry) ->
+        Decompose.Cache.clear ();
+        let t0 = Unix.gettimeofday () in
+        let cold_doc = e.run cfg in
+        let cold_s = Unix.gettimeofday () -. t0 in
+        let cold_text = Core.Report.render_text cold_doc in
+        (* grow the snapshot: existing file entries merge in (never
+           clobbering this run's), then the union is saved atomically *)
+        if Sys.file_exists file then ignore (Decompose.Cache.load_from_file file);
+        let saved = Decompose.Cache.save_to_file file in
+        Decompose.Cache.clear ();
+        let warm_entries = Decompose.Cache.load_from_file file in
+        let t1 = Unix.gettimeofday () in
+        let warm_doc = e.run cfg in
+        let warm_s = Unix.gettimeofday () -. t1 in
+        let warm_text = Core.Report.render_text warm_doc in
+        Printf.printf "[%s: cold %.1f s, warm %.1f s, %d curves saved, %d loaded]\n%!"
+          e.name cold_s warm_s saved warm_entries;
+        [
+          e.name;
+          Printf.sprintf "%.2f" cold_s;
+          Printf.sprintf "%.2f" warm_s;
+          (if warm_s > 0.0 then Printf.sprintf "%.1fx" (cold_s /. warm_s) else "-");
+          (if String.equal cold_text warm_text then "yes" else "no");
+        ])
+      entries
+  in
+  print_newline ();
+  Printf.printf "Warm-vs-cold wall time (cache file %s):\n" file;
+  Core.Report.table
+    ~header:[ "experiment"; "cold (s)"; "warm (s)"; "speedup"; "identical" ]
+    rows
+
 (* ---------- CLI ---------- *)
 
 let () =
+  (* warm the decomposition cache from NUOP_CACHE_FILE (if set); the
+     --cache comparison mode clears and manages the cache itself *)
+  ignore (Decompose.Cache.warm_from_env ());
   let args = Array.to_list Sys.argv |> List.tl in
   let paper = List.mem "--paper" args in
   let json = List.mem "--json" args in
@@ -203,9 +252,16 @@ let () =
     | [] -> None
   in
   let out = out_file args in
+  let rec cache_file = function
+    | "--cache" :: f :: _ -> Some f
+    | _ :: rest -> cache_file rest
+    | [] -> None
+  in
+  let cache = cache_file args in
   let names =
     let rec strip = function
       | "-o" :: _ :: rest -> strip rest
+      | "--cache" :: _ :: rest -> strip rest
       | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" -> strip rest
       | a :: rest -> a :: strip rest
       | [] -> []
@@ -216,6 +272,23 @@ let () =
   let scale = if paper then "paper" else "quick" in
   match names with
   | [ "verify-json"; file ] -> verify_json file
+  | _ when cache <> None ->
+    let file = Option.get cache in
+    let entries =
+      match names with
+      | [] | [ "all" ] -> experiments
+      | names ->
+        List.map
+          (fun name ->
+            match Core.Registry.find name with
+            | Some e -> e
+            | None ->
+              Printf.eprintf "unknown experiment %s (--cache runs registry \
+                              experiments only)\n" name;
+              exit 1)
+          names
+    in
+    run_cached cfg file entries
   | _ ->
     let run_one name =
       match Core.Registry.find name with

@@ -5,9 +5,13 @@
      devices      print the modelled devices and their calibration data
      study        run a benchmark suite against an instruction set
      compile      compile one benchmark through the pass manager (--trace-passes)
+     cache        warm, inspect and compact persistent curve snapshots
      calibration  print the Sec IX calibration cost model
      experiment   run one of the paper's table/figure reproductions
-     design       search gate-type pools for Pareto-optimal instruction sets *)
+     design       search gate-type pools for Pareto-optimal instruction sets
+
+   Every subcommand warms Decompose.Cache from NUOP_CACHE_FILE (if set)
+   before running, so repeated invocations share their fidelity curves. *)
 
 open Cmdliner
 
@@ -237,6 +241,18 @@ let study_cmd =
 
 (* ---------- compile ---------- *)
 
+(* One benchmark-circuit builder shared by compile and `cache warm`, so
+   a cache warmed for a benchmark is warmed with exactly the curves that
+   compiling it needs. *)
+let benchmark_circuit ~app ~qubits ~seed =
+  let rng = Linalg.Rng.create seed in
+  match app with
+  | "qv" -> List.hd (Apps.Qv.circuits rng ~count:1 qubits)
+  | "qaoa" -> List.hd (Apps.Qaoa.circuits rng ~count:1 qubits)
+  | "qft" -> Apps.Qft.circuit qubits
+  | "fh" -> Apps.Fermi_hubbard.circuit (max 4 qubits)
+  | a -> invalid_arg (Printf.sprintf "unknown app %s" a)
+
 let compile_cmd =
   let isa_arg =
     Arg.(
@@ -278,15 +294,7 @@ let compile_cmd =
   let run isa_name app qubits device seed optimize trace print_circuit print_schedule =
     let isa = Isa.Set.find_exn isa_name in
     let device = resolve_device ~qubits:(max 4 qubits) device in
-    let rng = Linalg.Rng.create seed in
-    let circuit =
-      match app with
-      | "qv" -> List.hd (Apps.Qv.circuits rng ~count:1 qubits)
-      | "qaoa" -> List.hd (Apps.Qaoa.circuits rng ~count:1 qubits)
-      | "qft" -> Apps.Qft.circuit qubits
-      | "fh" -> Apps.Fermi_hubbard.circuit (max 4 qubits)
-      | a -> invalid_arg (Printf.sprintf "unknown app %s" a)
-    in
+    let circuit = benchmark_circuit ~app ~qubits ~seed in
     let stack =
       if optimize then Compiler.Pass.optimized_stack else Compiler.Pass.default_stack
     in
@@ -317,6 +325,186 @@ let compile_cmd =
     Term.(
       const run $ isa_arg $ app_arg $ qubits $ device_arg $ seed $ optimize $ trace
       $ print_circuit $ print_schedule)
+
+(* ---------- cache ---------- *)
+
+(* Persistent decomposition-cache tooling.  The file format is the
+   Decompose.Persist curve snapshot (schema nuop-curves/1); every load
+   below is corruption-tolerant — a bad file reports its reason and
+   counts as empty, it never aborts the command with a backtrace. *)
+
+let cache_file_pos =
+  Arg.(
+    value & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:"Curve-snapshot file; defaults to $(b,NUOP_CACHE_FILE) when unset.")
+
+let required_cache_file = function
+  | Some f -> f
+  | None -> (
+    match Sys.getenv_opt Decompose.Cache.env_var with
+    | Some v -> (
+      match Decompose.Cache.validate_env_file v with
+      | Ok f -> f
+      | Error reason ->
+        invalid_arg
+          (Printf.sprintf "invalid %s=%S (%s)" Decompose.Cache.env_var v reason))
+    | None ->
+      invalid_arg
+        (Printf.sprintf "no cache file: pass FILE or set %s" Decompose.Cache.env_var))
+
+let cache_stats_cmd =
+  let run file =
+    (match
+       match file with
+       | Some f -> Some f
+       | None ->
+         Option.bind (Sys.getenv_opt Decompose.Cache.env_var) (fun v ->
+             Result.to_option (Decompose.Cache.validate_env_file v))
+     with
+    | Some f -> begin
+      match Decompose.Persist.load f with
+      | Ok entries ->
+        let points =
+          List.fold_left (fun acc (_, c) -> acc + Array.length c) 0 entries
+        in
+        let bytes =
+          try
+            let ic = open_in_bin f in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> in_channel_length ic)
+          with Sys_error _ -> 0
+        in
+        Printf.printf "%s: schema %s, %d curves, %d curve points, %d bytes\n" f
+          Decompose.Persist.schema (List.length entries) points bytes
+      | Error reason -> Printf.printf "%s: unusable (%s) — counts as empty\n" f reason
+    end
+    | None -> print_endline "no cache file (pass FILE or set NUOP_CACHE_FILE)");
+    let hits, misses = Decompose.Cache.stats () in
+    Printf.printf
+      "in-memory: %d entries (%d warm), capacity %d, %d hits (%d warm) / %d misses\n"
+      (Decompose.Cache.size ())
+      (Decompose.Cache.warm_count ())
+      (Decompose.Cache.capacity ())
+      hits
+      (Decompose.Cache.warm_hits ())
+      misses
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Summarize a curve snapshot and the in-memory cache")
+    Term.(const run $ cache_file_pos)
+
+let cache_warm_cmd =
+  let isa_arg =
+    Arg.(
+      value & opt string "G7"
+      & info [ "isa" ] ~docv:"ISA" ~doc:"Instruction set to warm curves for.")
+  in
+  let app_arg =
+    Arg.(
+      value & opt string "qaoa"
+      & info [ "app" ] ~docv:"APP" ~doc:"Benchmark: qv, qaoa, qft, fh.")
+  in
+  let qubits = Arg.(value & opt int 4 & info [ "qubits"; "n" ] ~doc:"Circuit width.") in
+  let seed = Arg.(value & opt int 2021 & info [ "seed" ] ~doc:"Random seed.") in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Snapshot file to write (default: $(b,NUOP_CACHE_FILE)).")
+  in
+  let run isa_name app qubits device seed output =
+    let file = required_cache_file output in
+    (* merge any existing snapshot first: disk entries never clobber the
+       in-memory table, so re-warming an existing file only grows it *)
+    let loaded =
+      if Sys.file_exists file then Decompose.Cache.load_from_file file else 0
+    in
+    let isa = Isa.Set.find_exn isa_name in
+    let device = resolve_device ~qubits:(max 4 qubits) device in
+    let circuit = benchmark_circuit ~app ~qubits ~seed in
+    let compiled, _ = Compiler.Pipeline.compile_with_metrics ~device ~isa circuit in
+    ignore compiled;
+    let saved = Decompose.Cache.save_to_file file in
+    Printf.printf "%s: %d curves (%d loaded, %d computed by %s/%s)\n" file saved
+      loaded (saved - loaded) app isa_name
+  in
+  Cmd.v
+    (Cmd.info "warm"
+       ~doc:
+         "Compile a benchmark to populate the curve cache and save the snapshot \
+          (merging with the file's previous contents)")
+    Term.(const run $ isa_arg $ app_arg $ qubits $ device_arg $ seed $ output)
+
+let cache_dump_cmd =
+  let run file =
+    let file = required_cache_file file in
+    match Decompose.Persist.load file with
+    | Error reason -> Printf.printf "%s: unusable (%s) — counts as empty\n" file reason
+    | Ok entries ->
+      Printf.printf "%s: %d curves\n" file (List.length entries);
+      List.iter
+        (fun (key, curve) ->
+          let layers, _, fd =
+            if Array.length curve = 0 then (0, [||], Float.nan)
+            else curve.(Array.length curve - 1)
+          in
+          Printf.printf "  %-72s %d points, max %d layers, best F_d %.8f\n" key
+            (Array.length curve) layers fd)
+        entries
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"List every curve in a snapshot file")
+    Term.(const run $ cache_file_pos)
+
+let cache_gc_cmd =
+  let max_entries =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max" ] ~docv:"N" ~doc:"Keep at most $(docv) curves (first wins).")
+  in
+  let run file max_entries =
+    let file = required_cache_file file in
+    let entries =
+      match Decompose.Persist.load file with
+      | Ok entries -> entries
+      | Error reason ->
+        Printf.eprintf "nuop: %s is unusable (%s); rewriting it empty\n%!" file reason;
+        []
+    in
+    let seen = Hashtbl.create 64 in
+    let deduped =
+      List.filter
+        (fun (key, _) ->
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        entries
+    in
+    let kept =
+      match max_entries with
+      | Some n when n >= 0 -> List.filteri (fun i _ -> i < n) deduped
+      | _ -> deduped
+    in
+    Decompose.Persist.save file kept;
+    Printf.printf "%s: %d curves in, %d kept\n" file (List.length entries)
+      (List.length kept)
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Rewrite a snapshot file: validate, drop duplicate keys, optionally \
+          truncate to --max curves")
+    Term.(const run $ cache_file_pos $ max_entries)
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Warm, inspect and compact persistent decomposition-curve snapshots")
+    [ cache_stats_cmd; cache_warm_cmd; cache_dump_cmd; cache_gc_cmd ]
 
 (* ---------- calibration ---------- *)
 
@@ -508,6 +696,7 @@ let () =
         devices_cmd;
         study_cmd;
         compile_cmd;
+        cache_cmd;
         calibration_cmd;
         qasm_cmd;
         weyl_cmd;
@@ -515,6 +704,9 @@ let () =
         design_cmd;
       ]
   in
+  (* warm the decomposition cache from NUOP_CACHE_FILE before any
+     subcommand runs; corrupt or missing files warn and start cold *)
+  ignore (Decompose.Cache.warm_from_env ());
   (* bad user input (unknown device/set/app, malformed snapshot) raises
      Invalid_argument with a self-explanatory message — print it as a
      CLI error instead of a backtrace *)

@@ -17,6 +17,10 @@ type pass_metrics = {
   duration_after : float;
   cache_hits : int;
   cache_misses : int;
+  cache_warm_hits : int;
+      (** subset of [cache_hits] served from a loaded cache snapshot;
+          rendered in the trace table only when non-zero, so cold runs
+          print exactly as before *)
 }
 
 val run : Pass.t list -> Pass.Context.t -> pass_metrics list

@@ -16,12 +16,33 @@ let default_domains_override = ref None
 let set_default_domains n =
   default_domains_override := if n <= 0 then None else Some n
 
+let parse_pool_size s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n > 0 -> Ok n
+  | Some n -> Error (Printf.sprintf "non-positive pool size %d" n)
+  | None -> Error "not an integer"
+
+(* A malformed NUOP_DOMAINS used to silently degrade the pool to 1,
+   serializing the whole suite with no signal.  Now the offending value
+   is reported once on stderr and the pool falls back to the machine
+   default instead. *)
+let env_warned = Atomic.make false
+
 let default_domains () =
   match !default_domains_override with
   | Some n -> n
   | None -> (
     match Sys.getenv_opt "NUOP_DOMAINS" with
-    | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1)
+    | Some s -> (
+      match parse_pool_size s with
+      | Ok n -> n
+      | Error reason ->
+        let fallback = Domain.recommended_domain_count () in
+        if not (Atomic.exchange env_warned true) then
+          Printf.eprintf
+            "nuop: ignoring invalid NUOP_DOMAINS=%S (%s); using %d domains\n%!" s
+            reason fallback;
+        fallback)
     | None -> Domain.recommended_domain_count ())
 
 (* true while executing inside a pool worker (per-domain flag) *)

@@ -12,6 +12,12 @@ val default_domains : unit -> int
 val set_default_domains : int -> unit
 (** Process-wide override of the default pool size ([<= 0] clears it). *)
 
+val parse_pool_size : string -> (int, string) result
+(** Parse a [NUOP_DOMAINS]-style value: a positive integer (surrounding
+    whitespace tolerated) or the reason it is rejected.  A rejected
+    value makes {!default_domains} warn once on stderr and fall back to
+    [Domain.recommended_domain_count] — never a silent pool of 1. *)
+
 val inside_pool : unit -> bool
 (** True while the calling domain is executing a pool task — clients can
     use it to pick a lazy sequential strategy instead of queueing a

@@ -17,13 +17,24 @@
    table (never the whole table): the entries other domains inserted
    moments ago survive, so an insert can never wipe a concurrent
    domain's in-flight result and force its next lookup to recompute.
+   The LRU cutoff is found by expected-O(n) quickselect on the (distinct)
+   generation stamps, not a full sort — insert cost at capacity stays
+   linear in the table size, once per cap/2 inserts.
 
    The cache is shared across the Domain pool used by the parallel suite
    evaluator: the table is guarded by a mutex and the hit/miss counters
    are atomics.  Curve optimization runs OUTSIDE the lock — two domains
    missing on the same key may both compute the (identical, deterministic)
    curve, which wastes a little work but never blocks the whole pool on
-   one optimization. *)
+   one optimization.
+
+   Curves are deterministic, so they also persist across processes:
+   [save_to_file]/[load_from_file] snapshot the table through
+   {!Persist} (schema nuop-curves/1).  Entries that came from disk are
+   marked "warm"; merging never clobbers an entry already in memory, a
+   corrupt or wrong-version file warns on stderr and loads nothing, and
+   a compile served from warm curves is byte-for-byte identical to a
+   cold one. *)
 
 open Linalg
 
@@ -32,7 +43,11 @@ let default_capacity = 100_000
 (* Guarded by [lock], like the table. *)
 let cap = ref default_capacity
 
-type entry = { mutable gen : int; curve : (int * float array * float) array }
+type entry = {
+  mutable gen : int;
+  warm : bool;  (** loaded from a snapshot file rather than computed here *)
+  curve : (int * float array * float) array;
+}
 
 let table : (string, entry) Hashtbl.t = Hashtbl.create 4096
 
@@ -42,9 +57,12 @@ let clock = ref 0
 let lock = Mutex.create ()
 
 (* Lifetime hit/miss counters (reset by [clear]); the pass manager
-   snapshots them around each pass to attribute hits per stage. *)
+   snapshots them around each pass to attribute hits per stage.
+   [warm_hits] counts the subset of hits served by disk-loaded
+   entries. *)
 let hits = Atomic.make 0
 let misses = Atomic.make 0
+let warm_hit_count = Atomic.make 0
 
 let make_key ~target ~gate_type ~options =
   let o = options in
@@ -60,6 +78,39 @@ let with_lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
+(* Rearrange [order] so its [drop] oldest (key, gen) pairs occupy
+   indices 0 .. drop-1.  Generation stamps are distinct (the clock is
+   bumped on every touch), so a plain quickselect with median-of-three
+   pivoting terminates in expected O(n) — no full sort per eviction. *)
+let quickselect order drop =
+  let swap i j =
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  in
+  let gen i = snd order.(i) in
+  let rec loop lo hi k =
+    if lo < hi then begin
+      let mid = lo + ((hi - lo) / 2) in
+      if gen mid < gen lo then swap mid lo;
+      if gen hi < gen lo then swap hi lo;
+      if gen hi < gen mid then swap hi mid;
+      swap mid hi;
+      let pivot = gen hi in
+      let store = ref lo in
+      for i = lo to hi - 1 do
+        if gen i < pivot then begin
+          swap i !store;
+          incr store
+        end
+      done;
+      swap !store hi;
+      if k < !store then loop lo (!store - 1) k
+      else if k > !store then loop (!store + 1) hi k
+    end
+  in
+  loop 0 (Array.length order - 1) drop
+
 (* Drop the least-recently-used entries until only [keep] remain.
    Called with the lock held. *)
 let evict_lru ~keep =
@@ -72,11 +123,19 @@ let evict_lru ~keep =
         order.(!i) <- (key, e.gen);
         incr i)
       table;
-    Array.sort (fun (_, a) (_, b) -> compare a b) order;
-    for k = 0 to n - keep - 1 do
+    let drop = n - keep in
+    if drop < n then quickselect order drop;
+    for k = 0 to drop - 1 do
       Hashtbl.remove table (fst order.(k))
     done
   end
+
+(* Insert one entry, evicting first if the table sits at the cap.
+   Called with the lock held. *)
+let insert_locked ~warm key curve =
+  if Hashtbl.length table >= !cap then evict_lru ~keep:(max 1 (!cap / 2));
+  incr clock;
+  Hashtbl.replace table key { gen = !clock; warm; curve }
 
 let fd_curve ?(options = Nuop.default_options) gate_type ~target =
   let key = make_key ~target ~gate_type ~options in
@@ -86,21 +145,18 @@ let fd_curve ?(options = Nuop.default_options) gate_type ~target =
         | Some e ->
           incr clock;
           e.gen <- !clock;
-          Some e.curve
+          Some (e.curve, e.warm)
         | None -> None)
   in
   match cached with
-  | Some curve ->
+  | Some (curve, warm) ->
     Atomic.incr hits;
+    if warm then Atomic.incr warm_hit_count;
     curve
   | None ->
     Atomic.incr misses;
     let curve = Nuop.fd_curve ~options gate_type ~target in
-    with_lock (fun () ->
-        (* keep the newest half; the fresh entry below is newest of all *)
-        if Hashtbl.length table >= !cap then evict_lru ~keep:(max 1 (!cap / 2));
-        incr clock;
-        Hashtbl.replace table key { gen = !clock; curve });
+    with_lock (fun () -> insert_locked ~warm:false key curve);
     curve
 
 let decompose_exact ?(options = Nuop.default_options) ?threshold gate_type ~target =
@@ -110,14 +166,20 @@ let decompose_approx ?(options = Nuop.default_options) ~fh gate_type ~target =
   Nuop.approx_of_curve ~fh gate_type (fd_curve ~options gate_type ~target)
 
 let clear () =
+  (* The counters reset under the same lock as the table: a concurrent
+     [fd_curve] can never observe the empty table with stale counters
+     (or fresh counters with the old table) — stats and contents move
+     as one. *)
   with_lock (fun () ->
       Hashtbl.reset table;
-      clock := 0);
-  Atomic.set hits 0;
-  Atomic.set misses 0
+      clock := 0;
+      Atomic.set hits 0;
+      Atomic.set misses 0;
+      Atomic.set warm_hit_count 0)
 
 let size () = with_lock (fun () -> Hashtbl.length table)
 let stats () = (Atomic.get hits, Atomic.get misses)
+let warm_hits () = Atomic.get warm_hit_count
 
 let capacity () = with_lock (fun () -> !cap)
 
@@ -126,3 +188,70 @@ let set_capacity n =
   with_lock (fun () ->
       cap := n;
       if Hashtbl.length table > n then evict_lru ~keep:(max 1 (n / 2)))
+
+(* ---------- persistence ---------- *)
+
+let warm_count () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun _ e acc -> if e.warm then acc + 1 else acc) table 0)
+
+let save_to_file path =
+  let entries =
+    with_lock (fun () ->
+        Hashtbl.fold (fun key e acc -> (key, e.curve) :: acc) table [])
+  in
+  (* deterministic file bytes regardless of hash-table iteration order *)
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  Persist.save path entries;
+  List.length entries
+
+let merge_entries entries =
+  with_lock (fun () ->
+      List.fold_left
+        (fun merged (key, curve) ->
+          (* disk entries never clobber newer in-memory ones *)
+          if Hashtbl.mem table key then merged
+          else begin
+            insert_locked ~warm:true key curve;
+            merged + 1
+          end)
+        0 entries)
+
+let load_from_file path =
+  match Persist.load path with
+  | Ok entries -> merge_entries entries
+  | Error reason ->
+    Printf.eprintf "nuop: cache file %s is unusable (%s); starting cold\n%!" path
+      reason;
+    0
+
+(* ---------- NUOP_CACHE_FILE ---------- *)
+
+let env_var = "NUOP_CACHE_FILE"
+
+let validate_env_file value =
+  if String.trim value = "" then
+    Error "empty path (expected a curve-snapshot file name)"
+  else Ok (String.trim value)
+
+let env_warned = Atomic.make false
+
+let warn_env fmt =
+  Printf.ksprintf
+    (fun m -> if not (Atomic.exchange env_warned true) then Printf.eprintf "%s\n%!" m)
+    fmt
+
+let warm_from_env () =
+  match Sys.getenv_opt env_var with
+  | None -> 0
+  | Some value -> (
+    match validate_env_file value with
+    | Error reason ->
+      warn_env "nuop: ignoring invalid %s=%S (%s)" env_var value reason;
+      0
+    | Ok path ->
+      if Sys.file_exists path then load_from_file path
+      else begin
+        warn_env "nuop: %s=%s does not exist yet; starting cold" env_var path;
+        0
+      end)

@@ -726,6 +726,140 @@ let device =
         && C.family_error_scale (Device.calibration d) = scale_before);
   ]
 
+(* ---------- Persist: on-disk curves against their laws ---------- *)
+
+(* synthetic curves — persistence is agnostic to where a curve came
+   from, so round-trip laws don't need to pay for real optimizations *)
+let synthetic_curve =
+  G.array_of
+    ~len:(G.int_range 1 4)
+    (G.map2
+       (fun layers (params, fd) -> (layers, params, fd))
+       (G.int_range 0 5)
+       (G.pair
+          (G.array_of ~len:(G.int_range 0 6) (G.float_range (-4.0) 4.0))
+          (G.float_range 0.0 1.0)))
+
+let synthetic_entries =
+  G.map
+    (fun curves -> List.mapi (fun i c -> (Printf.sprintf "key-%d|synthetic" i, c)) curves)
+    (G.list_of ~len:(G.int_range 0 6) synthetic_curve)
+
+let with_temp_curve_file f =
+  let file = Filename.temp_file "nuop-curves" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () -> f file)
+
+let print_entries entries =
+  String.concat "; "
+    (List.map
+       (fun (k, c) -> Printf.sprintf "%s (%d points)" k (Array.length c))
+       entries)
+
+(* ways to damage a snapshot file; every one must load as a clean error *)
+type corruption = Truncate of float | Wrong_schema | Garbage of string | Empty
+
+let corruption_gen rng =
+  match Rng.int rng 4 with
+  | 0 -> Truncate (Rng.uniform rng 0.0 0.999)
+  | 1 -> Wrong_schema
+  | 2 ->
+    let n = Rng.int rng 64 in
+    Garbage (String.init n (fun _ -> Char.chr (32 + Rng.int rng 95)))
+  | _ -> Empty
+
+let print_corruption = function
+  | Truncate f -> Printf.sprintf "Truncate %.3f" f
+  | Wrong_schema -> "Wrong_schema"
+  | Garbage s -> Printf.sprintf "Garbage %S" s
+  | Empty -> "Empty"
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let persist =
+  [
+    (* the round-trip law: every key, layer count, parameter vector and
+       fidelity float survives save -> load with exact bits *)
+    test "snapshots round-trip entries exactly" ~count:25
+      (arb ~print:print_entries synthetic_entries)
+      (fun entries ->
+        with_temp_curve_file (fun file ->
+            Decompose.Persist.save file entries;
+            match Decompose.Persist.load file with
+            | Ok back -> back = entries
+            | Error _ -> false));
+    (* corruption tolerance: truncated, wrong-version, garbage and empty
+       files are Errors (hence empty warm sets), never exceptions *)
+    test "corrupted snapshots load as clean errors" ~count:40
+      (arb
+         ~print:(fun (entries, c) ->
+           Printf.sprintf "%s / %s" (print_corruption c) (print_entries entries))
+         (G.pair synthetic_entries corruption_gen))
+      (fun (entries, corruption) ->
+        with_temp_curve_file (fun file ->
+            Decompose.Persist.save file entries;
+            (match corruption with
+            | Truncate frac ->
+              let s = In_channel.with_open_bin file In_channel.input_all in
+              write_file file
+                (String.sub s 0 (int_of_float (frac *. float_of_int (String.length s))))
+            | Wrong_schema ->
+              write_file file {|{"schema": "nuop-curves/999", "entries": []}|}
+            | Garbage s -> write_file file s
+            | Empty -> write_file file "");
+            match Decompose.Persist.load file with
+            | Ok _ -> false
+            | Error reason -> String.length reason > 0));
+    (* merge semantics: a disk entry never clobbers the curve already in
+       memory under the same key *)
+    test "disk entries never clobber in-memory curves" ~count:15
+      (arb
+         ~print:(fun (a, b) ->
+           Printf.sprintf "mem %d points / disk %d points" (Array.length a)
+             (Array.length b))
+         (G.pair synthetic_curve synthetic_curve))
+      (fun (mem_curve, disk_curve) ->
+        with_temp_curve_file (fun file ->
+            with_temp_curve_file (fun file2 ->
+                let key = "key-clobber|synthetic" in
+                Decompose.Cache.clear ();
+                Decompose.Persist.save file [ (key, disk_curve) ];
+                let first = Decompose.Cache.merge_entries [ (key, mem_curve) ] in
+                let merged = Decompose.Cache.load_from_file file in
+                ignore (Decompose.Cache.save_to_file file2);
+                Decompose.Cache.clear ();
+                match Decompose.Persist.load file2 with
+                | Ok [ (k, c) ] -> first = 1 && merged = 0 && k = key && c = mem_curve
+                | Ok _ | Error _ -> false)));
+    (* determinism end to end: a compile served entirely from a loaded
+       snapshot equals the cold compile bit for bit, and the reuse is
+       attributed to warm hits *)
+    test "warmed compile equals cold compile bit for bit" ~count:2
+      (circuit_arb ~n_qubits:3 ~max_length:8 ())
+      (fun circuit ->
+        with_temp_curve_file (fun file ->
+            let options =
+              { Compiler.Pipeline.default_options with nuop = fast_nuop }
+            in
+            let device = Device.sycamore_line 4 in
+            let isa = Isa.Set.g2 in
+            Decompose.Cache.clear ();
+            let cold = Compiler.Pipeline.compile ~options ~device ~isa circuit in
+            let saved = Decompose.Cache.save_to_file file in
+            Decompose.Cache.clear ();
+            let loaded = Decompose.Cache.load_from_file file in
+            let warm = Compiler.Pipeline.compile ~options ~device ~isa circuit in
+            let warm_hits = Decompose.Cache.warm_hits () in
+            saved = loaded
+            && Decompose.Cache.warm_count () = loaded
+            && same_compiled cold warm
+            && (saved = 0 || warm_hits > 0)));
+  ]
+
 let all =
   [
     ("mat", mat);
@@ -738,4 +872,5 @@ let all =
     ("schedule", schedule_group);
     ("isa", isa);
     ("device", device);
+    ("persist", persist);
   ]

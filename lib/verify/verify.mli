@@ -66,5 +66,13 @@ val device : (string * (unit -> unit)) list
     names, and {!Calibration.Drift.perturb} is pure and only ever
     inflates stored errors (multipliers >= 1, hours accumulating). *)
 
+val persist : (string * (unit -> unit)) list
+(** Curve persistence: save -> load round-trips every entry bit for bit,
+    corrupted snapshots (truncated, wrong schema, garbage, empty) load as
+    clean [Error]s rather than exceptions, disk entries never clobber the
+    curve already in memory under the same key, and a compile served from
+    a loaded snapshot equals the cold compile structurally while its
+    reuse shows up in the warm-hit counter. *)
+
 val all : (string * (string * (unit -> unit)) list) list
 (** Every group above, keyed by name, in dependency order. *)

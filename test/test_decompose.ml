@@ -395,6 +395,184 @@ let test_cache_concurrent_fill_past_cap () =
           end)
         curves)
 
+let test_cache_clear_resets_counters () =
+  (* regression: clear used to reset the hit/miss atomics outside the
+     table mutex, so a concurrent lookup could observe an empty table
+     with stale counters; it now swaps both under the same lock *)
+  Decompose.Cache.clear ();
+  let rng = Rng.create 29 in
+  let u = Qr.haar_special_unitary rng 4 in
+  ignore (Decompose.Cache.fd_curve ~options:fast_options Gates.Gate_type.s3 ~target:u);
+  ignore (Decompose.Cache.fd_curve ~options:fast_options Gates.Gate_type.s3 ~target:u);
+  check_bool "warmed up" true (Decompose.Cache.stats () <> (0, 0));
+  Decompose.Cache.clear ();
+  check_int "size reset" 0 (Decompose.Cache.size ());
+  let h, m = Decompose.Cache.stats () in
+  check_int "hits reset" 0 h;
+  check_int "misses reset" 0 m;
+  check_int "warm hits reset" 0 (Decompose.Cache.warm_hits ());
+  (* the previously cached key must now miss, not hit *)
+  ignore (Decompose.Cache.fd_curve ~options:fast_options Gates.Gate_type.s3 ~target:u);
+  check_int "old key misses after clear" 1 (snd (Decompose.Cache.stats ()));
+  check_int "no stale hits" 0 (fst (Decompose.Cache.stats ()));
+  Decompose.Cache.clear ()
+
+(* tiny synthetic curves: persistence and eviction don't care where a
+   curve came from, so tests of those paths need not pay for real
+   optimizations *)
+let synthetic_key i = Printf.sprintf "k%d|synthetic" i
+
+let synthetic_entry i =
+  (synthetic_key i, [| (1, [| float_of_int i |], 0.5 +. (float_of_int i *. 1e-6)) |])
+
+let with_temp_file f =
+  let file = Filename.temp_file "nuop-test-curves" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ()) (fun () -> f file)
+
+let survivors () =
+  with_temp_file (fun file ->
+      ignore (Decompose.Cache.save_to_file file);
+      match Decompose.Persist.load file with
+      | Ok entries -> List.map fst entries
+      | Error e -> Alcotest.fail e)
+
+let test_cache_eviction_survivor_set () =
+  (* deterministic check of the quickselect cutoff: inserting k0..k63 in
+     order at capacity 32 evicts down to 16 exactly twice (at the 33rd
+     and 49th inserts), so the survivors are exactly {k32..k63} *)
+  with_capacity 32 (fun () ->
+      for i = 0 to 63 do
+        check_int "fresh key merges" 1
+          (Decompose.Cache.merge_entries [ synthetic_entry i ])
+      done;
+      check_int "table at capacity" 32 (Decompose.Cache.size ());
+      let expect = List.init 32 (fun i -> synthetic_key (32 + i)) in
+      let got = List.sort compare (survivors ()) in
+      Alcotest.(check (list string)) "newest 32 survive" (List.sort compare expect) got)
+
+let test_cache_insert_cost_bounded () =
+  (* regression: eviction used to sort the whole table on every insert
+     past capacity; quickselect keeps sustained inserts cheap.  5000
+     synthetic inserts at capacity 256 finish comfortably inside a very
+     generous wall-time budget even on loaded CI machines *)
+  with_capacity 256 (fun () ->
+      let t0 = Sys.time () in
+      for i = 0 to 4999 do
+        ignore (Decompose.Cache.merge_entries [ synthetic_entry i ])
+      done;
+      let elapsed = Sys.time () -. t0 in
+      check_bool
+        (Printf.sprintf "5000 inserts bounded (%.3fs)" elapsed)
+        true (elapsed < 5.0);
+      let size = Decompose.Cache.size () in
+      check_bool "size stays within the eviction band" true (size > 0 && size <= 256))
+
+(* ---------- persistence ---------- *)
+
+let test_persist_roundtrip_real_curve () =
+  Decompose.Cache.clear ();
+  let rng = Rng.create 30 in
+  let u = Qr.haar_special_unitary rng 4 in
+  let cold = Decompose.Cache.fd_curve ~options:fast_options Gates.Gate_type.s3 ~target:u in
+  with_temp_file (fun file ->
+      check_int "one curve saved" 1 (Decompose.Cache.save_to_file file);
+      Decompose.Cache.clear ();
+      check_int "one curve loaded" 1 (Decompose.Cache.load_from_file file);
+      check_int "loaded entries are warm" 1 (Decompose.Cache.warm_count ());
+      let h0 = fst (Decompose.Cache.stats ()) in
+      let warm = Decompose.Cache.fd_curve ~options:fast_options Gates.Gate_type.s3 ~target:u in
+      check_int "lookup is a hit" (h0 + 1) (fst (Decompose.Cache.stats ()));
+      check_bool "hit attributed as warm" true (Decompose.Cache.warm_hits () > 0);
+      check_bool "curve identical" true (cold = warm));
+  Decompose.Cache.clear ()
+
+let test_persist_adversarial_loads () =
+  (* every flavour of broken file loads as a clean error — and through
+     Cache.load_from_file as a warning plus zero warm entries — never an
+     escaping exception *)
+  let write path s =
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc
+  in
+  let expect_rejected name content =
+    with_temp_file (fun file ->
+        write file content;
+        (match Decompose.Persist.load file with
+        | Ok _ -> Alcotest.fail (name ^ ": corrupt file parsed as Ok")
+        | Error reason -> check_bool (name ^ " has a reason") true (String.length reason > 0));
+        Decompose.Cache.clear ();
+        check_int (name ^ " loads zero entries") 0 (Decompose.Cache.load_from_file file);
+        check_int (name ^ " leaves cache empty") 0 (Decompose.Cache.size ()))
+  in
+  (* a genuine snapshot, truncated at every interesting boundary *)
+  with_temp_file (fun file ->
+      Decompose.Persist.save file [ synthetic_entry 0; synthetic_entry 1 ];
+      let full = In_channel.with_open_bin file In_channel.input_all in
+      List.iter
+        (fun frac ->
+          let cut = int_of_float (frac *. float_of_int (String.length full)) in
+          expect_rejected
+            (Printf.sprintf "truncated at %d/%d" cut (String.length full))
+            (String.sub full 0 cut))
+        [ 0.25; 0.5; 0.9 ]);
+  expect_rejected "wrong schema" {|{"schema": "nuop-curves/999", "entries": []}|};
+  expect_rejected "garbage bytes" "\x00\xffnot json at all{[";
+  expect_rejected "empty file" "";
+  expect_rejected "valid json, wrong shape" {|[1, 2, 3]|};
+  (* missing file: same contract, no exception *)
+  (match Decompose.Persist.load "/nonexistent/nuop-no-such-file.json" with
+  | Ok _ -> Alcotest.fail "missing file parsed as Ok"
+  | Error _ -> ());
+  check_int "missing file loads zero" 0
+    (Decompose.Cache.load_from_file "/nonexistent/nuop-no-such-file.json")
+
+let test_persist_merge_prefers_memory () =
+  Decompose.Cache.clear ();
+  let key = synthetic_key 7 in
+  let mem = [| (2, [| 1.0; 2.0 |], 0.75) |] in
+  let disk = [| (9, [| -1.0 |], 0.125) |] in
+  with_temp_file (fun file ->
+      Decompose.Persist.save file [ (key, disk) ];
+      check_int "memory entry inserted" 1 (Decompose.Cache.merge_entries [ (key, mem) ]);
+      check_int "disk duplicate skipped" 0 (Decompose.Cache.load_from_file file);
+      let saved = survivors () in
+      check_int "still one entry" 1 (List.length saved));
+  with_temp_file (fun file ->
+      ignore (Decompose.Cache.save_to_file file);
+      match Decompose.Persist.load file with
+      | Ok [ (k, c) ] ->
+        check_bool "key kept" true (k = key);
+        check_bool "in-memory curve kept" true (c = mem)
+      | Ok _ | Error _ -> Alcotest.fail "expected exactly the in-memory entry");
+  Decompose.Cache.clear ()
+
+let test_validate_env_file () =
+  (match Decompose.Cache.validate_env_file "" with
+  | Error _ -> ()
+  | Ok v -> Alcotest.fail ("blank accepted as " ^ v));
+  (match Decompose.Cache.validate_env_file "   " with
+  | Error _ -> ()
+  | Ok v -> Alcotest.fail ("whitespace accepted as " ^ v));
+  match Decompose.Cache.validate_env_file "  /tmp/curves.json " with
+  | Ok v -> Alcotest.(check string) "trimmed" "/tmp/curves.json" v
+  | Error e -> Alcotest.fail e
+
+let test_parse_pool_size () =
+  let module P = Concurrent.Domain_pool in
+  (match P.parse_pool_size "8" with
+  | Ok n -> check_int "plain" 8 n
+  | Error e -> Alcotest.fail e);
+  (match P.parse_pool_size " 4\n" with
+  | Ok n -> check_int "whitespace tolerated" 4 n
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match P.parse_pool_size bad with
+      | Ok n -> Alcotest.fail (Printf.sprintf "%S accepted as %d" bad n)
+      | Error reason -> check_bool (bad ^ " has a reason") true (String.length reason > 0))
+    [ "eight"; "0"; "-2"; ""; "3.5" ]
+
 (* ---------- KAK ---------- *)
 
 let test_kak_random () =
@@ -514,6 +692,17 @@ let () =
           Alcotest.test_case "LRU eviction" `Quick test_cache_eviction_keeps_newest;
           Alcotest.test_case "concurrent fill past cap" `Quick
             test_cache_concurrent_fill_past_cap;
+          Alcotest.test_case "clear resets counters" `Quick test_cache_clear_resets_counters;
+          Alcotest.test_case "eviction survivor set" `Quick test_cache_eviction_survivor_set;
+          Alcotest.test_case "insert cost bounded" `Quick test_cache_insert_cost_bounded;
+        ] );
+      ( "persist",
+        [
+          Alcotest.test_case "roundtrip real curve" `Quick test_persist_roundtrip_real_curve;
+          Alcotest.test_case "adversarial loads" `Quick test_persist_adversarial_loads;
+          Alcotest.test_case "merge prefers memory" `Quick test_persist_merge_prefers_memory;
+          Alcotest.test_case "validate env file" `Quick test_validate_env_file;
+          Alcotest.test_case "parse pool size" `Quick test_parse_pool_size;
         ] );
       ( "kak",
         [
