@@ -106,36 +106,39 @@ let run_ablation () =
   let dim = Decompose.Template.param_count template in
   let objective p = Decompose.Template.infidelity template p ~target in
   let x0 = Array.init dim (fun _ -> Linalg.Rng.uniform rng (-.Float.pi) Float.pi) in
-  let t0 = Sys.time () in
-  let b = Optimize.Bfgs.minimize objective x0 in
-  let t1 = Sys.time () in
-  let nm =
-    Optimize.Nelder_mead.minimize
-      ~options:{ Optimize.Nelder_mead.default_options with max_iter = 20000 }
-      objective x0
+  let b, bfgs_s =
+    Obs.Span.timed "bench.ablation.bfgs" (fun () -> Optimize.Bfgs.minimize objective x0)
   in
-  let t2 = Sys.time () in
+  let nm, nm_s =
+    Obs.Span.timed "bench.ablation.nelder_mead" (fun () ->
+        Optimize.Nelder_mead.minimize
+          ~options:{ Optimize.Nelder_mead.default_options with max_iter = 20000 }
+          objective x0)
+  in
   Printf.printf "  BFGS:        infidelity %.2e in %d iters, %d evals, %.0f ms\n"
-    b.Optimize.Bfgs.f b.iterations b.evaluations
-    (1000.0 *. (t1 -. t0));
+    b.Optimize.Bfgs.f b.iterations b.evaluations (1000.0 *. bfgs_s);
   Printf.printf "  Nelder-Mead: infidelity %.2e in %d iters, %d evals, %.0f ms\n"
-    nm.Optimize.Nelder_mead.f nm.iterations nm.evaluations
-    (1000.0 *. (t2 -. t1))
+    nm.Optimize.Nelder_mead.f nm.iterations nm.evaluations (1000.0 *. nm_s)
 
 (* ---------- JSON artifact ---------- *)
 
-let today () =
-  let tm = Unix.localtime (Unix.gettimeofday ()) in
-  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
-    tm.Unix.tm_mday
+(* BENCH_<date>.json names stamp in UTC (Obs.Clock wraps gmtime): with
+   the old local-time stamp, the same nightly run produced different
+   artifact names depending on the machine's timezone. *)
+let today () = Obs.Clock.utc_date (Obs.Clock.now ())
 
 (* Run one registered experiment, returning its JSON node. Wall time is
    measured around the document build (all the numeric work happens
-   there; rendering is negligible). *)
+   there; rendering is negligible) by the experiment's span — the same
+   number lands in the nuop-bench/1 "seconds" field and, under --trace /
+   NUOP_TRACE, in the trace. *)
 let experiment_json cfg (e : Core.Registry.entry) =
-  let t0 = Unix.gettimeofday () in
-  let doc = e.Core.Registry.run cfg in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let doc, seconds =
+    Obs.Span.timed
+      ~attrs:[ ("experiment", e.Core.Registry.name) ]
+      "bench.experiment"
+      (fun () -> e.Core.Registry.run cfg)
+  in
   Core.Report.to_json ~name:e.Core.Registry.name
     ~description:e.Core.Registry.description ~seconds doc
 
@@ -168,7 +171,7 @@ let verify_json file =
   let json =
     try Core.Json.of_string s
     with Core.Json.Parse_error msg ->
-      Printf.eprintf "%s: JSON parse error: %s\n" file msg;
+      Obs.Log.error "%s: JSON parse error: %s" file msg;
       exit 1
   in
   let entries =
@@ -187,7 +190,7 @@ let verify_json file =
     List.filter (fun n -> not (List.mem n found)) Core.Registry.names
   in
   if missing <> [] then (
-    Printf.eprintf "%s: missing experiments: %s\n" file (String.concat ", " missing);
+    Obs.Log.error "%s: missing experiments: %s" file (String.concat ", " missing);
     exit 1);
   Printf.printf "%s: all %d experiments present\n" file (List.length found)
 
@@ -206,9 +209,12 @@ let run_cached cfg file entries =
     List.map
       (fun (e : Core.Registry.entry) ->
         Decompose.Cache.clear ();
-        let t0 = Unix.gettimeofday () in
-        let cold_doc = e.run cfg in
-        let cold_s = Unix.gettimeofday () -. t0 in
+        let cold_doc, cold_s =
+          Obs.Span.timed
+            ~attrs:[ ("experiment", e.name); ("mode", "cold") ]
+            "bench.experiment"
+            (fun () -> e.run cfg)
+        in
         let cold_text = Core.Report.render_text cold_doc in
         (* grow the snapshot: existing file entries merge in (never
            clobbering this run's), then the union is saved atomically *)
@@ -216,9 +222,12 @@ let run_cached cfg file entries =
         let saved = Decompose.Cache.save_to_file file in
         Decompose.Cache.clear ();
         let warm_entries = Decompose.Cache.load_from_file file in
-        let t1 = Unix.gettimeofday () in
-        let warm_doc = e.run cfg in
-        let warm_s = Unix.gettimeofday () -. t1 in
+        let warm_doc, warm_s =
+          Obs.Span.timed
+            ~attrs:[ ("experiment", e.name); ("mode", "warm") ]
+            "bench.experiment"
+            (fun () -> e.run cfg)
+        in
         let warm_text = Core.Report.render_text warm_doc in
         Printf.printf "[%s: cold %.1f s, warm %.1f s, %d curves saved, %d loaded]\n%!"
           e.name cold_s warm_s saved warm_entries;
@@ -240,8 +249,12 @@ let run_cached cfg file entries =
 (* ---------- CLI ---------- *)
 
 let () =
-  (* warm the decomposition cache from NUOP_CACHE_FILE (if set); the
-     --cache comparison mode clears and manages the cache itself *)
+  (* NUOP_TRACE=FILE traces the whole bench run (JSONL, closed at exit);
+     then warm the decomposition cache from NUOP_CACHE_FILE (if set) —
+     the --cache comparison mode clears and manages the cache itself *)
+  Obs.Trace.init_from_env ();
+  (* surface a malformed NUOP_LOG_LEVEL even on runs that log nothing *)
+  Obs.Log.check_env ();
   ignore (Decompose.Cache.warm_from_env ());
   let args = Array.to_list Sys.argv |> List.tl in
   let paper = List.mem "--paper" args in
@@ -283,22 +296,26 @@ let () =
             match Core.Registry.find name with
             | Some e -> e
             | None ->
-              Printf.eprintf "unknown experiment %s (--cache runs registry \
-                              experiments only)\n" name;
+              Obs.Log.error
+                "unknown experiment %s (--cache runs registry experiments only)" name;
               exit 1)
           names
     in
     run_cached cfg file entries
   | _ ->
+    let run_and_print (e : Core.Registry.entry) =
+      let doc, seconds =
+        Obs.Span.timed
+          ~attrs:[ ("experiment", e.name) ]
+          "bench.experiment"
+          (fun () -> e.run cfg)
+      in
+      Core.Report.print doc;
+      Printf.printf "\n[%s done in %.1f s]\n%!" e.name seconds
+    in
     let run_one name =
       match Core.Registry.find name with
-      | Some e ->
-        if json then write_json ~out (experiment_json cfg e)
-        else begin
-          let t0 = Unix.gettimeofday () in
-          Core.Report.print (e.Core.Registry.run cfg);
-          Printf.printf "\n[%s done in %.1f s]\n%!" name (Unix.gettimeofday () -. t0)
-        end
+      | Some e -> if json then write_json ~out (experiment_json cfg e) else run_and_print e
       | None ->
         (match name with
         | "micro" ->
@@ -310,25 +327,21 @@ let () =
           in
           write_json ~out (artifact cfg ~scale experiments)
         | "all" ->
-          List.iter
-            (fun (e : Core.Registry.entry) ->
-              let t0 = Unix.gettimeofday () in
-              Core.Report.print (e.run cfg);
-              Printf.printf "\n[%s done in %.1f s]\n%!" e.name
-                (Unix.gettimeofday () -. t0))
-            experiments;
+          List.iter run_and_print experiments;
           run_ablation ()
         | _ ->
-          Printf.eprintf "unknown experiment %s\navailable:\n" name;
+          let usage = Buffer.create 256 in
+          Printf.bprintf usage "unknown experiment %s\navailable:\n" name;
           List.iter
             (fun (e : Core.Registry.entry) ->
-              Printf.eprintf "  %-8s %s\n" e.name e.description)
+              Printf.bprintf usage "  %-8s %s\n" e.name e.description)
             experiments;
-          Printf.eprintf
-            "  %-8s kernel microbenchmarks\n  %-8s everything\n" "micro" "all";
-          Printf.eprintf
+          Printf.bprintf usage "  %-8s kernel microbenchmarks\n  %-8s everything\n"
+            "micro" "all";
+          Printf.bprintf usage
             "flags: --paper (published scale), --json [-o FILE]\n\
-             subcommand: verify-json FILE (CI completeness check)\n";
+             subcommand: verify-json FILE (CI completeness check)";
+          Obs.Log.error "%s" (Buffer.contents usage);
           exit 1)
     in
     (match names with

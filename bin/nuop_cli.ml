@@ -9,9 +9,14 @@
      calibration  print the Sec IX calibration cost model
      experiment   run one of the paper's table/figure reproductions
      design       search gate-type pools for Pareto-optimal instruction sets
+     trace        validate JSONL telemetry traces (nuop-trace/1)
 
-   Every subcommand warms Decompose.Cache from NUOP_CACHE_FILE (if set)
-   before running, so repeated invocations share their fidelity curves. *)
+   The global `--trace FILE` flag (any subcommand, also NUOP_TRACE=FILE)
+   streams the run's telemetry — hierarchical spans, final counter
+   totals, warnings — as JSONL through Obs; `nuop trace check FILE`
+   validates such a file.  Every subcommand warms Decompose.Cache from
+   NUOP_CACHE_FILE (if set) before running, so repeated invocations
+   share their fidelity curves. *)
 
 open Cmdliner
 
@@ -470,7 +475,7 @@ let cache_gc_cmd =
       match Decompose.Persist.load file with
       | Ok entries -> entries
       | Error reason ->
-        Printf.eprintf "nuop: %s is unusable (%s); rewriting it empty\n%!" file reason;
+        Obs.Log.warn "nuop: %s is unusable (%s); rewriting it empty" file reason;
         []
     in
     let seen = Hashtbl.create 64 in
@@ -686,6 +691,59 @@ let design_cmd =
           Pareto frontier of instruction sets")
     Term.(const run $ paper $ smoke $ qubits $ json $ output)
 
+(* ---------- trace ---------- *)
+
+(* Telemetry-trace tooling over the JSONL files `--trace` / NUOP_TRACE
+   write (schema nuop-trace/1).  `check` is the validator the CI alias
+   pipes a traced compile into: every line must parse through Njson and
+   span start/end events must nest and balance per domain. *)
+
+let trace_check_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace file written by $(b,--trace).")
+  in
+  let run file =
+    match Obs.Trace.check_file file with
+    | Ok s ->
+      Printf.printf
+        "%s: %d events — %d spans (max depth %d), %d counters, %d gauges, %d log \
+         messages; spans nest and balance\n"
+        file s.Obs.Trace.events s.Obs.Trace.spans s.Obs.Trace.max_depth
+        s.Obs.Trace.counters s.Obs.Trace.gauges s.Obs.Trace.messages
+    | Error reason -> invalid_arg (Printf.sprintf "trace file %s: %s" file reason)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate a telemetry trace: every line parses as JSON and spans \
+          nest/balance per domain")
+    Term.(const run $ file)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Validate JSONL telemetry traces (schema nuop-trace/1)")
+    [ trace_check_cmd ]
+
+(* ---------- entry point ---------- *)
+
+(* The global --trace FILE flag is shared by every subcommand, so it is
+   peeled off argv before Cmdliner dispatch (Cmdliner has no true global
+   options across a command group). *)
+let strip_trace_flag args =
+  let prefix = "--trace=" in
+  let plen = String.length prefix in
+  let rec loop acc trace = function
+    | [] -> Ok (List.rev acc, trace)
+    | "--trace" :: [] -> Error "option --trace needs a FILE argument"
+    | "--trace" :: file :: rest -> loop acc (Some file) rest
+    | a :: rest when String.length a > plen && String.sub a 0 plen = prefix ->
+      loop acc (Some (String.sub a plen (String.length a - plen))) rest
+    | a :: rest -> loop (a :: acc) trace rest
+  in
+  loop [] None args
+
 let () =
   let doc = "calibration & expressivity-efficient quantum instruction sets (ISCA 2021 reproduction)" in
   let info = Cmd.info "nuop" ~version:"1.0.0" ~doc in
@@ -702,7 +760,22 @@ let () =
         weyl_cmd;
         experiment_cmd;
         design_cmd;
+        trace_cmd;
       ]
+  in
+  (* telemetry first: NUOP_TRACE, overridden by an explicit --trace FILE
+     anywhere on the command line (both JSONL, closed at exit) *)
+  Obs.Trace.init_from_env ();
+  (* surface a malformed NUOP_LOG_LEVEL even on runs that log nothing *)
+  Obs.Log.check_env ();
+  let argv =
+    match strip_trace_flag (Array.to_list Sys.argv |> List.tl) with
+    | Error msg ->
+      Obs.Log.error "nuop: %s" msg;
+      exit Cmd.Exit.cli_error
+    | Ok (rest, trace) ->
+      (match trace with Some file -> Obs.Trace.enable_file file | None -> ());
+      Array.of_list (Sys.argv.(0) :: rest)
   in
   (* warm the decomposition cache from NUOP_CACHE_FILE before any
      subcommand runs; corrupt or missing files warn and start cold *)
@@ -711,7 +784,7 @@ let () =
      Invalid_argument with a self-explanatory message — print it as a
      CLI error instead of a backtrace *)
   exit
-    (try Cmd.eval ~catch:false group
+    (try Cmd.eval ~catch:false ~argv group
      with Invalid_argument msg ->
        prerr_endline ("nuop: " ^ msg);
        Cmd.Exit.cli_error)

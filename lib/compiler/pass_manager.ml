@@ -41,14 +41,32 @@ let run_pass pass ctx =
   in
   let hits0, misses0 = Decompose.Cache.stats () in
   let warm0 = Decompose.Cache.warm_hits () in
-  let t0 = Sys.time () in
+  (* The span clock is the one wall-clock source (the old process-CPU
+     clock meant a pass blocked on I/O or sleeping reported zero).
+     [time_s] covers exactly the pass body; the span's own end event
+     additionally covers the metric snapshot below and carries the
+     deltas as attributes. *)
+  let span = Obs.Span.enter ("pass." ^ Pass.name pass) in
   Pass.run pass ctx;
-  let time_s = Sys.time () -. t0 in
+  let time_s = Obs.Span.elapsed span in
   let hits1, misses1 = Decompose.Cache.stats () in
   let warm1 = Decompose.Cache.warm_hits () in
   let oneq_after, twoq_after, swaps_after, depth_after, duration_after =
     snapshot ctx
   in
+  ignore
+    (Obs.Span.exit span
+       ~attrs:
+         [
+           ("oneq", string_of_int oneq_after);
+           ("twoq", string_of_int twoq_after);
+           ("swaps", string_of_int swaps_after);
+           ("depth", string_of_int depth_after);
+           ("duration_ns", Printf.sprintf "%.0f" (1e9 *. duration_after));
+           ("cache_hits", string_of_int (hits1 - hits0));
+           ("cache_misses", string_of_int (misses1 - misses0));
+           ("cache_warm_hits", string_of_int (warm1 - warm0));
+         ]);
   {
     pass_name = Pass.name pass;
     time_s;
@@ -67,7 +85,11 @@ let run_pass pass ctx =
     cache_warm_hits = warm1 - warm0;
   }
 
-let run stack ctx = List.map (fun pass -> run_pass pass ctx) stack
+let run stack ctx =
+  Obs.Span.with_
+    ~attrs:[ ("passes", string_of_int (List.length stack)) ]
+    "pass_manager.run"
+    (fun () -> List.map (fun pass -> run_pass pass ctx) stack)
 
 let total_time metrics = List.fold_left (fun acc m -> acc +. m.time_s) 0.0 metrics
 

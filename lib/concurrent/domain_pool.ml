@@ -24,10 +24,8 @@ let parse_pool_size s =
 
 (* A malformed NUOP_DOMAINS used to silently degrade the pool to 1,
    serializing the whole suite with no signal.  Now the offending value
-   is reported once on stderr and the pool falls back to the machine
-   default instead. *)
-let env_warned = Atomic.make false
-
+   is reported once (Obs.Log's built-in warn-once) and the pool falls
+   back to the machine default instead. *)
 let default_domains () =
   match !default_domains_override with
   | Some n -> n
@@ -38,10 +36,9 @@ let default_domains () =
       | Ok n -> n
       | Error reason ->
         let fallback = Domain.recommended_domain_count () in
-        if not (Atomic.exchange env_warned true) then
-          Printf.eprintf
-            "nuop: ignoring invalid NUOP_DOMAINS=%S (%s); using %d domains\n%!" s
-            reason fallback;
+        Obs.Log.warn_once ~key:"NUOP_DOMAINS"
+          "nuop: ignoring invalid NUOP_DOMAINS=%S (%s); using %d domains" s reason
+          fallback;
         fallback)
     | None -> Domain.recommended_domain_count ())
 
@@ -57,15 +54,32 @@ let map_array ?domains f items =
   if n = 0 then [||]
   else if pool <= 1 || Domain.DLS.get inside_pool_key then Array.map f items
   else begin
+    (* Tracing: the whole map is one span on the caller's domain and —
+       only while a sink is listening — every task gets a child span on
+       whichever worker ran it.  [traced] is latched here so an untraced
+       map pays nothing per task (no clock reads, no allocation); the
+       task spans name the map span as their explicit parent because the
+       workers' own span stacks are empty. *)
+    let traced = Obs.Sink.active () in
+    let map_span = if traced then Some (Obs.Span.enter "pool.map") else None in
+    let parent = Option.map (fun (s : Obs.Span.t) -> s.Obs.Span.id) map_span in
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
+    let run_task i =
+      if traced then
+        Obs.Span.with_ ?parent
+          ~attrs:[ ("index", string_of_int i) ]
+          "pool.task"
+          (fun () -> f items.(i))
+      else f items.(i)
+    in
     let worker () =
       Domain.DLS.set inside_pool_key true;
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n && Atomic.get failure = None then begin
-          (try results.(i) <- Some (f items.(i))
+          (try results.(i) <- Some (run_task i)
            with exn ->
              (* first failure wins; remaining tasks are abandoned *)
              ignore (Atomic.compare_and_set failure None (Some exn)));
@@ -78,6 +92,13 @@ let map_array ?domains f items =
     let spawned = List.init (pool - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join spawned;
+    (match map_span with
+    | Some s ->
+      ignore
+        (Obs.Span.exit s
+           ~attrs:
+             [ ("tasks", string_of_int n); ("domains", string_of_int pool) ])
+    | None -> ());
     (match Atomic.get failure with Some exn -> raise exn | None -> ());
     Array.map
       (function Some v -> v | None -> assert false (* all slots filled *))

@@ -47,9 +47,12 @@ let bar ?(width = 40) ~max_value value =
 let heat_digit v =
   if Float.is_nan v then "." else string_of_int (min 9 (int_of_float (Float.round v)))
 
+(* Wall time (Obs.Clock), not process-CPU time: Domain-pool-parallel
+   experiments burn many CPU-seconds per wall second, and blocked time
+   must count too. *)
 let timer () =
-  let t0 = Sys.time () in
-  fun () -> Sys.time () -. t0
+  let t0 = Obs.Clock.now () in
+  fun () -> Obs.Clock.now () -. t0
 
 (* ---------- text renderer ---------- *)
 

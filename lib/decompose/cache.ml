@@ -59,10 +59,12 @@ let lock = Mutex.create ()
 (* Lifetime hit/miss counters (reset by [clear]); the pass manager
    snapshots them around each pass to attribute hits per stage.
    [warm_hits] counts the subset of hits served by disk-loaded
-   entries. *)
-let hits = Atomic.make 0
-let misses = Atomic.make 0
-let warm_hit_count = Atomic.make 0
+   entries.  The counters live in the Obs registry (still domain-safe
+   atomics underneath), so a --trace run records their final totals in
+   its closing snapshot; the [stats]/[warm_hits] API is unchanged. *)
+let hits = Obs.Counter.create "decompose.cache.hits"
+let misses = Obs.Counter.create "decompose.cache.misses"
+let warm_hit_count = Obs.Counter.create "decompose.cache.warm_hits"
 
 let make_key ~target ~gate_type ~options =
   let o = options in
@@ -150,11 +152,11 @@ let fd_curve ?(options = Nuop.default_options) gate_type ~target =
   in
   match cached with
   | Some (curve, warm) ->
-    Atomic.incr hits;
-    if warm then Atomic.incr warm_hit_count;
+    Obs.Counter.incr hits;
+    if warm then Obs.Counter.incr warm_hit_count;
     curve
   | None ->
-    Atomic.incr misses;
+    Obs.Counter.incr misses;
     let curve = Nuop.fd_curve ~options gate_type ~target in
     with_lock (fun () -> insert_locked ~warm:false key curve);
     curve
@@ -173,13 +175,13 @@ let clear () =
   with_lock (fun () ->
       Hashtbl.reset table;
       clock := 0;
-      Atomic.set hits 0;
-      Atomic.set misses 0;
-      Atomic.set warm_hit_count 0)
+      Obs.Counter.reset hits;
+      Obs.Counter.reset misses;
+      Obs.Counter.reset warm_hit_count)
 
 let size () = with_lock (fun () -> Hashtbl.length table)
-let stats () = (Atomic.get hits, Atomic.get misses)
-let warm_hits () = Atomic.get warm_hit_count
+let stats () = (Obs.Counter.get hits, Obs.Counter.get misses)
+let warm_hits () = Obs.Counter.get warm_hit_count
 
 let capacity () = with_lock (fun () -> !cap)
 
@@ -221,8 +223,7 @@ let load_from_file path =
   match Persist.load path with
   | Ok entries -> merge_entries entries
   | Error reason ->
-    Printf.eprintf "nuop: cache file %s is unusable (%s); starting cold\n%!" path
-      reason;
+    Obs.Log.warn "nuop: cache file %s is unusable (%s); starting cold" path reason;
     0
 
 (* ---------- NUOP_CACHE_FILE ---------- *)
@@ -234,12 +235,9 @@ let validate_env_file value =
     Error "empty path (expected a curve-snapshot file name)"
   else Ok (String.trim value)
 
-let env_warned = Atomic.make false
-
-let warn_env fmt =
-  Printf.ksprintf
-    (fun m -> if not (Atomic.exchange env_warned true) then Printf.eprintf "%s\n%!" m)
-    fmt
+(* One warning per process about the env var, whichever problem fires
+   first — Obs.Log's warn-once keyed on the var name. *)
+let warn_env fmt = Obs.Log.warn_once ~key:env_var fmt
 
 let warm_from_env () =
   match Sys.getenv_opt env_var with

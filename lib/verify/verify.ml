@@ -860,6 +860,96 @@ let persist =
             && (saved = 0 || warm_hits > 0)));
   ]
 
+(* ---------- Obs: telemetry against its own trace validator ---------- *)
+
+(* a random span-nesting shape: each node is one [Obs.Span.with_] call
+   wrapping its children *)
+type span_shape = Node of span_shape list
+
+let rec shape_size (Node kids) =
+  1 + List.fold_left (fun acc k -> acc + shape_size k) 0 kids
+
+let rec print_shape (Node kids) =
+  Printf.sprintf "(%s)" (String.concat " " (List.map print_shape kids))
+
+let rec span_shape_gen depth rng =
+  let width = if depth <= 0 then 0 else Rng.int rng 4 in
+  Node (List.init width (fun _ -> span_shape_gen (depth - 1) rng))
+
+let rec build_spans depth (Node kids) =
+  Obs.Span.with_
+    (Printf.sprintf "verify.node.d%d" depth)
+    (fun () -> List.iter (build_spans (depth + 1)) kids)
+
+let with_temp_trace_file f =
+  let file = Filename.temp_file "nuop-trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () -> f file)
+
+let obs_group =
+  [
+    (* structural law: a tree of [with_] calls produces a trace the
+       validator accepts, with exactly one completed span per node *)
+    test "span trees validate with exact span counts" ~count:20
+      (arb ~print:print_shape (span_shape_gen 3))
+      (fun shape ->
+        with_temp_trace_file (fun file ->
+            Obs.Trace.with_file file (fun () -> build_spans 0 shape);
+            match Obs.Trace.check_file file with
+            | Ok s -> s.Obs.Trace.spans = shape_size shape
+            | Error _ -> false));
+    (* atomicity: concurrent increments from Domain-pool workers are
+       never lost — the counter total is exactly tasks * per_task *)
+    test "counter sums are exact across domains" ~count:10
+      (arb
+         ~print:(fun (tasks, per) -> Printf.sprintf "%d tasks x %d incrs" tasks per)
+         (G.pair (G.int_range 1 24) (G.int_range 1 200)))
+      (fun (tasks, per) ->
+        let c = Obs.Counter.create "verify.obs.hits" in
+        Obs.Counter.reset c;
+        ignore
+          (Concurrent.Domain_pool.map_array ~domains:4
+             (fun _ ->
+               for _ = 1 to per do
+                 Obs.Counter.incr c
+               done)
+             (Array.init tasks Fun.id));
+        Obs.Counter.get c = tasks * per);
+    (* serialization round trip: every line of a trace parses through
+       Njson and re-emits byte for byte (canonical compact form) *)
+    test "trace lines round-trip through Njson" ~count:10
+      (arb ~print:print_shape (span_shape_gen 2))
+      (fun shape ->
+        with_temp_trace_file (fun file ->
+            Obs.Trace.with_file file (fun () -> build_spans 0 shape);
+            In_channel.with_open_text file In_channel.input_lines
+            |> List.for_all (fun line ->
+                   Njson.to_string ~indent:0 (Njson.of_string line) = line)));
+    (* observer effect: compiling under an active trace sink yields the
+       same compiled program as compiling with the null sink, and the
+       trace it writes passes the validator *)
+    test "tracing never changes the compiled circuit" ~count:2
+      (circuit_arb ~n_qubits:3 ~max_length:8 ())
+      (fun circuit ->
+        with_temp_trace_file (fun file ->
+            let options =
+              { Compiler.Pipeline.default_options with nuop = fast_nuop }
+            in
+            let device = Device.sycamore_line 4 in
+            let isa = Isa.Set.g2 in
+            Decompose.Cache.clear ();
+            let plain = Compiler.Pipeline.compile ~options ~device ~isa circuit in
+            Decompose.Cache.clear ();
+            let traced =
+              Obs.Trace.with_file file (fun () ->
+                  Compiler.Pipeline.compile ~options ~device ~isa circuit)
+            in
+            same_compiled plain traced
+            &&
+            match Obs.Trace.check_file file with Ok _ -> true | Error _ -> false));
+  ]
+
 let all =
   [
     ("mat", mat);
@@ -873,4 +963,5 @@ let all =
     ("isa", isa);
     ("device", device);
     ("persist", persist);
+    ("obs", obs_group);
   ]

@@ -394,6 +394,21 @@ let test_pass_elide_trivial () =
   let d = Metrics.Dist.process_distance (circuit_unitary c) (circuit_unitary elided) in
   check_bool "unitary preserved" true (d < 1e-9)
 
+let test_pass_time_is_wall_clock () =
+  (* regression: pass timing once used the process-CPU clock, so a pass
+     blocked on I/O or sleeping reported ~0 elapsed.  A sleeping pass
+     must now report (most of) its wall time. *)
+  let sleeper = Compiler.Pass.make "sleeper" (fun _ -> Unix.sleepf 0.06) in
+  let ctx =
+    Compiler.Pass.Context.create ~device:(Device.sycamore_line 4) ~isa:Isa.Set.s3
+      (small_circuit ())
+  in
+  match Compiler.Pass_manager.run [ sleeper ] ctx with
+  | [ m ] ->
+    check_bool "wall time counted while sleeping" true
+      (m.Compiler.Pass_manager.time_s >= 0.04)
+  | ms -> Alcotest.failf "expected one metric record, got %d" (List.length ms)
+
 let test_pass_stack_requires_compact () =
   let device = Device.sycamore_line 4 in
   let no_compact =
@@ -451,6 +466,7 @@ let () =
             test_pass_merge_oneq_preserves_unitary;
           Alcotest.test_case "1Q-merge rewrite" `Quick test_pass_merge_rewrite_small;
           Alcotest.test_case "trivial elision" `Quick test_pass_elide_trivial;
+          Alcotest.test_case "pass time is wall clock" `Quick test_pass_time_is_wall_clock;
           Alcotest.test_case "stack must compact" `Quick test_pass_stack_requires_compact;
         ] );
     ]
