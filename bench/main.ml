@@ -169,8 +169,9 @@ let verify_json file =
   let s = really_input_string ic len in
   close_in ic;
   let json =
-    try Core.Json.of_string s
-    with Core.Json.Parse_error msg ->
+    match Core.Json.of_string_result s with
+    | Ok j -> j
+    | Error msg ->
       Obs.Log.error "%s: JSON parse error: %s" file msg;
       exit 1
   in
@@ -246,6 +247,127 @@ let run_cached cfg file entries =
     ~header:[ "experiment"; "cold (s)"; "warm (s)"; "speedup"; "identical" ]
     rows
 
+(* ---------- serve-load: closed-loop load generator ---------- *)
+
+(* Drives an in-process Service.Server exactly the way the socket
+   transport does (submit_line + reply callbacks), keeping [clients]
+   requests outstanding: each reply immediately submits the next
+   request, so measured latency includes queueing behind one's own
+   concurrency, never behind an artificially open arrival process.
+
+   Two phases over the SAME request set: cold (decomposition cache
+   cleared) and warm (the cold phase's curves resident).  Per-request
+   seeds differ, so the cold phase really computes distinct curves; the
+   warm phase replays them as pure cache hits — the warm/cold throughput
+   ratio is the service-side evidence for the shared warm cache. *)
+
+let serve_load_line i =
+  Core.Json.to_string ~indent:0
+    (Core.Json.Obj
+       [
+         ("id", Core.Json.Int i);
+         ("op", Core.Json.String "compile");
+         ("app", Core.Json.String "qaoa");
+         ("qubits", Core.Json.Int 4);
+         ("seed", Core.Json.Int (3000 + i));
+       ])
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+  end
+
+let serve_load_phase ~requests ~clients config =
+  let t = Service.Server.create config in
+  let lock = Mutex.create () in
+  let all_done = Condition.create () in
+  let completed = ref 0 in
+  let errors = ref 0 in
+  let latencies = Array.make requests 0.0 in
+  let next = Atomic.make 0 in
+  let t0 = Service.Deadline.now_ms () in
+  (* closed loop: a reply on a worker domain fires the next submission *)
+  let rec submit_next () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < requests then begin
+      let start = Service.Deadline.now_ms () in
+      Service.Server.submit_line t
+        ~reply:(fun line ->
+          latencies.(i) <- Service.Deadline.now_ms () -. start;
+          let ok =
+            match Core.Json.of_string_result line with
+            | Ok j -> Core.Json.member "ok" j = Some (Core.Json.Bool true)
+            | Error _ -> false
+          in
+          Mutex.lock lock;
+          if not ok then incr errors;
+          incr completed;
+          Condition.signal all_done;
+          Mutex.unlock lock;
+          submit_next ())
+        (serve_load_line i)
+    end
+  in
+  for _ = 1 to min clients requests do
+    submit_next ()
+  done;
+  Mutex.lock lock;
+  while !completed < requests do
+    Condition.wait all_done lock
+  done;
+  Mutex.unlock lock;
+  let elapsed_s = (Service.Deadline.now_ms () -. t0) /. 1000.0 in
+  Service.Server.drain t;
+  Array.sort compare latencies;
+  let throughput =
+    if elapsed_s > 0.0 then float_of_int requests /. elapsed_s else 0.0
+  in
+  (throughput, percentile latencies 50.0, percentile latencies 95.0,
+   percentile latencies 99.0, !errors)
+
+let run_serve_load ~requests ~clients ~workers =
+  let config =
+    {
+      Service.Server.default_config with
+      Service.Server.workers;
+      (* the closed loop holds at most [clients] outstanding, so this
+         queue never refuses — serve-load measures latency, the queue
+         property tests measure backpressure *)
+      queue_depth = max 64 (2 * clients);
+    }
+  in
+  Printf.printf
+    "serve-load: %d workers, %d closed-loop clients, %d requests per phase\n%!"
+    workers clients requests;
+  Decompose.Cache.clear ();
+  let cold_tp, cold_p50, cold_p95, cold_p99, cold_err =
+    serve_load_phase ~requests ~clients config
+  in
+  let warm_tp, warm_p50, warm_p95, warm_p99, warm_err =
+    serve_load_phase ~requests ~clients config
+  in
+  let row label tp p50 p95 p99 err =
+    [
+      label;
+      Printf.sprintf "%.1f" tp;
+      Printf.sprintf "%.1f" p50;
+      Printf.sprintf "%.1f" p95;
+      Printf.sprintf "%.1f" p99;
+      string_of_int err;
+    ]
+  in
+  Core.Report.table
+    ~header:[ "phase"; "req/s"; "p50 (ms)"; "p95 (ms)"; "p99 (ms)"; "errors" ]
+    [
+      row "cold" cold_tp cold_p50 cold_p95 cold_p99 cold_err;
+      row "warm" warm_tp warm_p50 warm_p95 warm_p99 warm_err;
+    ];
+  Printf.printf "warm/cold throughput: %.1fx\n%!"
+    (if cold_tp > 0.0 then warm_tp /. cold_tp else 0.0)
+
 (* ---------- CLI ---------- *)
 
 let () =
@@ -271,10 +393,26 @@ let () =
     | [] -> None
   in
   let cache = cache_file args in
+  (* value-bearing flags (serve-load sizing) *)
+  let int_flag flag default =
+    let rec find = function
+      | f :: v :: _ when f = flag -> ( match int_of_string_opt v with
+        | Some n when n > 0 -> n
+        | _ ->
+          Obs.Log.error "bench: %s expects a positive integer, got %S" flag v;
+          exit 1)
+      | _ :: rest -> find rest
+      | [] -> default
+    in
+    find args
+  in
   let names =
     let rec strip = function
       | "-o" :: _ :: rest -> strip rest
       | "--cache" :: _ :: rest -> strip rest
+      | "--requests" :: _ :: rest -> strip rest
+      | "--clients" :: _ :: rest -> strip rest
+      | "--workers" :: _ :: rest -> strip rest
       | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" -> strip rest
       | a :: rest -> a :: strip rest
       | [] -> []
@@ -285,6 +423,11 @@ let () =
   let scale = if paper then "paper" else "quick" in
   match names with
   | [ "verify-json"; file ] -> verify_json file
+  | [ "serve-load" ] ->
+    run_serve_load
+      ~requests:(int_flag "--requests" 40)
+      ~clients:(int_flag "--clients" 8)
+      ~workers:(int_flag "--workers" (Concurrent.Domain_pool.default_domains ()))
   | _ when cache <> None ->
     let file = Option.get cache in
     let entries =
@@ -323,7 +466,17 @@ let () =
           run_ablation ()
         | "all" when json ->
           let out =
-            Some (Option.value out ~default:(Printf.sprintf "BENCH_%s.json" (today ())))
+            match out with
+            | Some f -> Some f
+            | None ->
+              (* never clobber an earlier artifact from the same UTC day:
+                 take BENCH_<date>-2.json, -3.json, ... and say so *)
+              let default = Printf.sprintf "BENCH_%s.json" (today ()) in
+              let path = Core.Report.fresh_path default in
+              if path <> default then
+                Obs.Log.warn "bench: %s already exists; writing %s instead" default
+                  path;
+              Some path
           in
           write_json ~out (artifact cfg ~scale experiments)
         | "all" ->
@@ -340,7 +493,9 @@ let () =
             "micro" "all";
           Printf.bprintf usage
             "flags: --paper (published scale), --json [-o FILE]\n\
-             subcommand: verify-json FILE (CI completeness check)";
+             subcommands: verify-json FILE (CI completeness check)\n\
+            \             serve-load [--requests N] [--clients N] [--workers N] \
+             (service throughput, cold vs warm cache)";
           Obs.Log.error "%s" (Buffer.contents usage);
           exit 1)
     in

@@ -10,6 +10,12 @@
      experiment   run one of the paper's table/figure reproductions
      design       search gate-type pools for Pareto-optimal instruction sets
      trace        validate JSONL telemetry traces (nuop-trace/1)
+     serve        resident compilation server (NDJSON over stdio or a Unix socket)
+     request      one-shot client for a running `nuop serve --socket`
+
+   compile/study/devices output is rendered by Service.Ops — the same
+   functions the resident server embeds in its responses — so serving is
+   byte-identical to the one-shot CLI by construction.
 
    The global `--trace FILE` flag (any subcommand, also NUOP_TRACE=FILE)
    streams the run's telemetry — hierarchical spans, final counter
@@ -107,9 +113,7 @@ let decompose_cmd =
 (* The single device lookup every subcommand shares: a --device argument
    is either a registry name or a path to a JSON snapshot (as written by
    `nuop devices dump`).  A registry miss lists the known names. *)
-let resolve_device ?qubits spec =
-  if Sys.file_exists spec && not (Sys.is_directory spec) then Device.of_file spec
-  else Device.Registry.build ?qubits spec
+let resolve_device = Service.Ops.resolve_device
 
 let device_arg =
   Arg.(
@@ -125,13 +129,7 @@ let qubits_opt_arg =
     & info [ "qubits"; "n" ] ~docv:"N"
         ~doc:"Qubit count for sized devices (registry default otherwise).")
 
-let devices_list () =
-  Printf.printf "%-12s %7s  %s\n" "name" "qubits" "description";
-  List.iter
-    (fun e ->
-      Printf.printf "%-12s %7d  %s\n" e.Device.Registry.name
-        e.Device.Registry.default_qubits e.Device.Registry.description)
-    Device.Registry.entries
+let devices_list () = print_string (Service.Ops.devices_list_text ())
 
 let devices_list_cmd =
   Cmd.v
@@ -228,17 +226,10 @@ let study_cmd =
   let run isa_name app qubits count device seed =
     let isa = Isa.Set.find_exn isa_name in
     let device = resolve_device ~qubits:(max 4 qubits) device in
-    let rng = Linalg.Rng.create seed in
-    let circuits, metric =
-      match app with
-      | "qv" -> (Apps.Qv.circuits rng ~count qubits, Core.Study.Hop)
-      | "qaoa" -> (Apps.Qaoa.circuits rng ~count qubits, Core.Study.Xed)
-      | "qft" -> ([ Apps.Qft.circuit qubits ], Core.Study.State_fidelity)
-      | "fh" -> ([ Apps.Fermi_hubbard.circuit (max 4 qubits) ], Core.Study.Xeb_fidelity)
-      | a -> invalid_arg (Printf.sprintf "unknown app %s" a)
-    in
-    let r = Core.Study.evaluate_suite ~device ~isa ~metric circuits in
-    Core.Study.print_results ~metric [ r ]
+    let metric = Service.Ops.study_metric app in
+    let circuits = Service.Ops.study_circuits ~app ~qubits ~count ~seed in
+    let text, _ = Service.Ops.study_text ~device ~isa ~metric circuits in
+    print_string text
   in
   Cmd.v
     (Cmd.info "study" ~doc:"Compile and simulate a benchmark against an instruction set")
@@ -246,17 +237,10 @@ let study_cmd =
 
 (* ---------- compile ---------- *)
 
-(* One benchmark-circuit builder shared by compile and `cache warm`, so
-   a cache warmed for a benchmark is warmed with exactly the curves that
-   compiling it needs. *)
-let benchmark_circuit ~app ~qubits ~seed =
-  let rng = Linalg.Rng.create seed in
-  match app with
-  | "qv" -> List.hd (Apps.Qv.circuits rng ~count:1 qubits)
-  | "qaoa" -> List.hd (Apps.Qaoa.circuits rng ~count:1 qubits)
-  | "qft" -> Apps.Qft.circuit qubits
-  | "fh" -> Apps.Fermi_hubbard.circuit (max 4 qubits)
-  | a -> invalid_arg (Printf.sprintf "unknown app %s" a)
+(* One benchmark-circuit builder shared by compile, `cache warm` and the
+   service, so a cache warmed for a benchmark is warmed with exactly the
+   curves that compiling it needs. *)
+let benchmark_circuit = Service.Ops.benchmark_circuit
 
 let compile_cmd =
   let isa_arg =
@@ -300,29 +284,11 @@ let compile_cmd =
     let isa = Isa.Set.find_exn isa_name in
     let device = resolve_device ~qubits:(max 4 qubits) device in
     let circuit = benchmark_circuit ~app ~qubits ~seed in
-    let stack =
-      if optimize then Compiler.Pass.optimized_stack else Compiler.Pass.default_stack
+    let text, _ =
+      Service.Ops.compile_text ~optimize ~trace_passes:trace ~print_schedule
+        ~print_circuit ~device ~isa ~isa_name ~app circuit
     in
-    let compiled, metrics =
-      Compiler.Pipeline.compile_with_metrics ~stack ~device ~isa circuit
-    in
-    Printf.printf "%s on %s via %s stack (%d passes):\n" app isa_name
-      (if optimize then "optimized" else "default")
-      (List.length stack);
-    Printf.printf
-      "  %d instructions, %d two-qubit gates, %d SWAPs, depth %d, %d qubits\n"
-      (Qcir.Circuit.length compiled.Compiler.Pipeline.circuit)
-      compiled.Compiler.Pipeline.twoq_count compiled.Compiler.Pipeline.swap_count
-      (Qcir.Circuit.depth compiled.Compiler.Pipeline.circuit)
-      (Array.length compiled.Compiler.Pipeline.qubit_map);
-    Printf.printf "  duration %.1f ns over %d moments, ESP %.4f\n"
-      (1e9 *. compiled.Compiler.Pipeline.duration)
-      compiled.Compiler.Pipeline.critical_depth
-      (Core.Study.esp ~device compiled);
-    if trace then Core.Study.print_pass_metrics metrics;
-    if print_schedule then
-      print_string (Schedule.to_string compiled.Compiler.Pipeline.schedule);
-    if print_circuit then Qcir.Printer.print compiled.Compiler.Pipeline.circuit
+    print_string text
   in
   Cmd.v
     (Cmd.info "compile"
@@ -616,26 +582,26 @@ let experiment_cmd =
   in
   let run name paper json output =
     let cfg = if paper then Core.Config.paper else Core.Config.quick in
-    match Core.Registry.find name with
-    | None -> invalid_arg (Printf.sprintf "unknown experiment %s" name)
-    | Some e ->
-      let doc = e.Core.Registry.run cfg in
-      let s =
-        if json then
-          Core.Json.to_string
-            (Core.Report.to_json ~name:e.Core.Registry.name
-               ~description:e.Core.Registry.description doc)
-          ^ "\n"
-        else Core.Report.render_text doc
-      in
-      (match output with
-      | None ->
-        print_string s;
-        flush stdout
-      | Some file ->
-        let oc = open_out file in
-        output_string oc s;
-        close_out oc)
+    (* case-insensitive lookup; a miss raises Invalid_argument listing
+       every known experiment (caught by the entry point below) *)
+    let e = Core.Registry.find_exn name in
+    let doc = e.Core.Registry.run cfg in
+    let s =
+      if json then
+        Core.Json.to_string
+          (Core.Report.to_json ~name:e.Core.Registry.name
+             ~description:e.Core.Registry.description doc)
+        ^ "\n"
+      else Core.Report.render_text doc
+    in
+    match output with
+    | None ->
+      print_string s;
+      flush stdout
+    | Some file ->
+      let oc = open_out file in
+      output_string oc s;
+      close_out oc
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one of the paper's table/figure reproductions")
@@ -726,6 +692,142 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Validate JSONL telemetry traces (schema nuop-trace/1)")
     [ trace_check_cmd ]
 
+(* ---------- serve / request ---------- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) (one NDJSON connection per \
+             client).  Without it the server speaks NDJSON on stdin/stdout and \
+             drains at EOF.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded job-queue depth; a full queue answers $(b,overloaded) \
+             immediately instead of stalling the client.")
+  in
+  let workers =
+    Arg.(
+      value & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains sharing the warm decomposition cache (default: the \
+             Domain-pool size, NUOP_DOMAINS).")
+  in
+  let run socket queue workers =
+    let config =
+      {
+        Service.Server.default_config with
+        Service.Server.queue_depth = queue;
+        workers =
+          (match workers with
+          | Some w -> w
+          | None -> Service.Server.default_config.Service.Server.workers);
+      }
+    in
+    let t = Service.Server.create config in
+    match socket with
+    | Some path -> Service.Server.serve_socket t path
+    | None -> Service.Server.serve_channels t stdin stdout
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident compilation server (NDJSON protocol nuop-rpc/1 over \
+          stdio or a Unix-domain socket)")
+    Term.(const run $ socket $ queue $ workers)
+
+let request_cmd =
+  let socket =
+    Arg.(
+      required & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Socket of a running $(b,nuop serve).")
+  in
+  let op =
+    Arg.(
+      value & pos 0 string "ping"
+      & info [] ~docv:"OP" ~doc:"Op: compile, score, devices, stats, ping.")
+  in
+  let params =
+    Arg.(
+      value & opt (some string) None
+      & info [ "params" ] ~docv:"JSON"
+          ~doc:
+            "Op parameters as a JSON object, e.g. \
+             '{\"app\":\"qft\",\"qubits\":5,\"isa\":\"S1\"}'.")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline; a late answer becomes a $(b,timeout) error.")
+  in
+  let id =
+    Arg.(
+      value & opt string "1"
+      & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed in the response.")
+  in
+  let raw =
+    Arg.(
+      value & opt (some string) None
+      & info [ "raw" ] ~docv:"LINE"
+          ~doc:
+            "Send $(docv) verbatim instead of building a request — for exercising \
+             the server's protocol errors.")
+  in
+  (* Exit 0 whenever a response line arrives: a typed error (bad_request,
+     timeout, ...) is the protocol working, not a transport failure. *)
+  let run socket op params deadline id raw =
+    let line =
+      match raw with
+      | Some l -> l
+      | None ->
+        let body =
+          match params with
+          | None -> []
+          | Some p -> (
+            match Njson.of_string_result p with
+            | Ok (Njson.Obj kvs) -> kvs
+            | Ok _ -> invalid_arg "--params must be a JSON object"
+            | Error e -> invalid_arg (Printf.sprintf "--params: %s" e))
+        in
+        let fields =
+          (("id", Njson.String id) :: ("op", Njson.String op)
+          :: (match deadline with
+             | Some ms -> [ ("deadline_ms", Njson.Float ms) ]
+             | None -> []))
+          @ body
+        in
+        Njson.to_string ~indent:0 (Njson.Obj fields)
+    in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX socket)
+     with Unix.Unix_error (e, _, _) ->
+       invalid_arg
+         (Printf.sprintf "cannot connect to %s (%s) — is nuop serve running?" socket
+            (Unix.error_message e)));
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    (match input_line ic with
+    | response -> print_endline response
+    | exception End_of_file ->
+      invalid_arg "connection closed before a response arrived");
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:"Send one request to a running $(b,nuop serve) socket and print the reply")
+    Term.(const run $ socket $ op $ params $ deadline $ id $ raw)
+
 (* ---------- entry point ---------- *)
 
 (* The global --trace FILE flag is shared by every subcommand, so it is
@@ -761,6 +863,8 @@ let () =
         experiment_cmd;
         design_cmd;
         trace_cmd;
+        serve_cmd;
+        request_cmd;
       ]
   in
   (* telemetry first: NUOP_TRACE, overridden by an explicit --trace FILE

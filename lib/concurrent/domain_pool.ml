@@ -47,6 +47,17 @@ let inside_pool_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let inside_pool () = Domain.DLS.get inside_pool_key
 
+(* Long-lived worker domains owned by other subsystems (the compilation
+   service) run their jobs under this scope: nested maps degrade to the
+   sequential fallback exactly as if the job ran on a pool task, so a
+   server with N workers never multiplies into N * recommended_domain_count
+   domains.  Results are unchanged by construction — every pool client
+   is pool-size invariant, sequential fallback included. *)
+let sequential_scope f =
+  let prev = Domain.DLS.get inside_pool_key in
+  Domain.DLS.set inside_pool_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set inside_pool_key prev) f
+
 let map_array ?domains f items =
   let n = Array.length items in
   let requested = match domains with Some d -> d | None -> default_domains () in

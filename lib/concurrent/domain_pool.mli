@@ -23,6 +23,13 @@ val inside_pool : unit -> bool
     use it to pick a lazy sequential strategy instead of queueing a
     nested (and therefore sequentialized) map. *)
 
+val sequential_scope : (unit -> 'a) -> 'a
+(** Run [f] with the calling domain marked as a pool worker, so every
+    {!map} issued inside degrades to the sequential fallback.  Used by
+    subsystems that own long-lived worker domains (the compilation
+    service) to keep N workers from oversubscribing the machine with
+    nested pools; restores the previous mark on exit, even on raise. *)
+
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~domains f items] applies [f] to every item on a pool of
     [domains] domains (caller included) and returns the results in input

@@ -93,5 +93,18 @@ let all =
     };
   ]
 
-let find name = List.find_opt (fun e -> String.equal e.name name) all
+(* Case-insensitive, matching the ISA/Device registry conventions:
+   `nuop experiment FIG9` and `bench Fig9` find fig9. *)
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.lowercase_ascii e.name = lower) all
+
 let names = List.map (fun e -> e.name) all
+
+let find_exn name =
+  match find name with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Core.Registry: unknown experiment %S (known: %s)" name
+         (String.concat ", " names))

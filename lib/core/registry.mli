@@ -14,4 +14,11 @@ val all : entry list
 (** In presentation order: tables, figures, ablations. *)
 
 val find : string -> entry option
+(** Case-insensitive, matching the ISA and Device registry
+    conventions. *)
+
+val find_exn : string -> entry
+(** Like {!find}; a miss raises [Invalid_argument] listing every known
+    experiment name. *)
+
 val names : string list

@@ -214,10 +214,28 @@ end
 
 (* ---------- legacy direct-print API (interactive CLI paths) ---------- *)
 
-let print_block block =
+let block_to_string block =
   let buf = Buffer.create 256 in
   render_block buf block;
-  print_string (Buffer.contents buf)
+  Buffer.contents buf
+
+let print_block block = print_string (block_to_string block)
+
+(* Collision-free artifact naming: BENCH_<date>.json from the same UTC
+   day must never silently clobber an earlier run, so the second run of
+   a day becomes BENCH_<date>-2.json, the third -3, and so on. *)
+let fresh_path path =
+  if not (Sys.file_exists path) then path
+  else begin
+    let dir = Filename.dirname path and base = Filename.basename path in
+    let stem = Filename.remove_extension base in
+    let ext = Filename.extension base in
+    let rec next n =
+      let candidate = Filename.concat dir (Printf.sprintf "%s-%d%s" stem n ext) in
+      if Sys.file_exists candidate then next (n + 1) else candidate
+    in
+    next 2
+  end
 
 let heading title = print_block (Heading title)
 let subheading title = print_block (Subheading title)

@@ -78,6 +78,17 @@ val timer : unit -> unit -> float
     Single blocks rendered straight to stdout — used by interactive CLI
     subcommands ([nuop devices], [nuop compile --trace-passes], ...). *)
 
+val block_to_string : block -> string
+(** One block rendered exactly as the text renderer would print it —
+    the string form behind the direct-print API below, shared with the
+    service layer so served responses can embed CLI-identical tables. *)
+
+val fresh_path : string -> string
+(** [fresh_path p] is [p] when no file exists there, else the first of
+    [stem-2.ext], [stem-3.ext], ... that does not exist — artifact
+    writers use it so a same-day rerun never silently overwrites an
+    earlier artifact. *)
+
 val heading : string -> unit
 val subheading : string -> unit
 val table : header:string list -> string list list -> unit

@@ -108,6 +108,6 @@ let load path =
   | exception Sys_error m -> Error m
   | exception End_of_file -> Error "truncated file"
   | s -> (
-    match Njson.of_string s with
-    | exception Njson.Parse_error m -> Error ("not valid JSON: " ^ m)
-    | json -> ( try Ok (of_json json) with Bad m -> Error m))
+    match Njson.of_string_result s with
+    | Error m -> Error ("not valid JSON: " ^ m)
+    | Ok json -> ( try Ok (of_json json) with Bad m -> Error m))

@@ -390,7 +390,11 @@ let of_json j =
   { name; description; calibration; native_isa; provenance }
 
 let to_string ?indent d = Njson.to_string ?indent (to_json d)
-let of_string s = of_json (Njson.of_string s)
+
+let of_string s =
+  match Njson.of_string_result s with
+  | Ok json -> of_json json
+  | Error msg -> fail "Device.of_string: input does not parse as JSON (%s)" msg
 
 let to_file path d =
   Out_channel.with_open_text path (fun oc ->
@@ -398,7 +402,6 @@ let to_file path d =
       Out_channel.output_char oc '\n')
 
 let of_file path =
-  match In_channel.with_open_text path In_channel.input_all |> of_string with
-  | d -> d
-  | exception Njson.Parse_error msg ->
-    fail "Device.of_file: %s does not parse as JSON (%s)" path msg
+  match Njson.of_string_result (In_channel.with_open_text path In_channel.input_all) with
+  | Ok json -> of_json json
+  | Error msg -> fail "Device.of_file: %s does not parse as JSON (%s)" path msg

@@ -101,8 +101,23 @@ exception Parse_error of string
 
 type parser_state = { src : string; mutable pos : int }
 
+(* Errors locate themselves by line and column (both 1-based), not raw
+   byte offset: service requests and CLI inputs are multi-line documents
+   where "offset 643" is useless to a human.  The scan is O(pos) but
+   only runs on the failure path. *)
+let line_column src pos =
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to min (pos - 1) (String.length src - 1) do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, pos - !bol + 1)
+
 let fail_at st msg =
-  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+  let line, column = line_column st.src st.pos in
+  raise (Parse_error (Printf.sprintf "%s at line %d, column %d" msg line column))
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 
@@ -273,6 +288,13 @@ let of_string s =
   skip_ws st;
   if st.pos <> String.length s then fail_at st "trailing garbage";
   v
+
+(* The boundary-safe entry point: every place that parses bytes it did
+   not emit itself (service requests, CLI-supplied files) goes through
+   this, so malformed JSON surfaces as a located [Error] value and the
+   [Parse_error] exception never escapes a process boundary. *)
+let of_string_result s =
+  match of_string s with v -> Ok v | exception Parse_error msg -> Error msg
 
 (* ---------- accessors ---------- *)
 

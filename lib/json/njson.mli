@@ -21,7 +21,14 @@ val to_string : ?indent:int -> t -> string
 
 val of_string : string -> t
 (** Parse a complete JSON document.  @raise Parse_error on malformed
-    input or trailing bytes. *)
+    input or trailing bytes; the message locates the failure by 1-based
+    line and column. *)
+
+val of_string_result : string -> (t, string) result
+(** [of_string] with the located error message as a value instead of an
+    exception — the required entry point at every service and CLI
+    boundary, so malformed external input can never escape as a raw
+    [Parse_error] backtrace. *)
 
 val member : string -> t -> t option
 (** Field lookup on an [Obj]; [None] on other constructors. *)

@@ -30,6 +30,20 @@ module Clock = struct
 
   let elapsed since = now () -. since
 
+  (* Monotonic-ized wall clock for deadline arithmetic: readings never
+     decrease across calls, process-wide, even if the system clock steps
+     backwards (NTP).  A CAS loop latches the maximum observed reading;
+     domains racing here only ever push the latch forward. *)
+  let monotonic_latch = Atomic.make neg_infinity
+
+  let rec monotonic () =
+    let wall = now () in
+    let seen = Atomic.get monotonic_latch in
+    let t = if wall > seen then wall else seen in
+    if wall > seen && not (Atomic.compare_and_set monotonic_latch seen wall) then
+      monotonic ()
+    else t
+
   (* UTC stamps: artifact names (BENCH_<date>.json) must not change with
      the machine's timezone, so these go through [Unix.gmtime], never
      [Unix.localtime]. *)
@@ -529,8 +543,9 @@ module Trace = struct
         (fun i raw ->
           let line = i + 1 in
           let json =
-            try Njson.of_string raw
-            with Njson.Parse_error m -> fail ~line "JSON parse error (%s)" m
+            match Njson.of_string_result raw with
+            | Ok j -> j
+            | Error m -> fail ~line "JSON parse error (%s)" m
           in
           let ev = str ~line "ev" json in
           if line = 1 then begin

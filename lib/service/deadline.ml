@@ -1,0 +1,11 @@
+(* Monotonic deadlines (milliseconds) on Obs.Clock.monotonic. *)
+
+type t = { expires_ms : float }
+
+let now_ms () = 1000.0 *. Obs.Clock.monotonic ()
+
+let after ~ms = { expires_ms = now_ms () +. ms }
+
+let expired t = now_ms () >= t.expires_ms
+
+let remaining_ms t = t.expires_ms -. now_ms ()

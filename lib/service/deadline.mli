@@ -1,0 +1,27 @@
+(** Monotonic deadlines for service requests.
+
+    Readings come from {!Obs.Clock.monotonic} — a process-wide
+    never-decreasing clock — so a deadline armed before an NTP step
+    backwards still expires on time instead of gaining the step.  All
+    arithmetic is in milliseconds to match the protocol's
+    [deadline_ms] field. *)
+
+type t
+
+val now_ms : unit -> float
+(** Milliseconds on the monotonic clock.  Only differences are
+    meaningful; the epoch is the wall clock's but readings never
+    decrease. *)
+
+val after : ms:float -> t
+(** A deadline [ms] milliseconds from now.  [ms <= 0] is already
+    expired. *)
+
+val expired : t -> bool
+(** True once the clock has reached the deadline.  Checking is
+    cooperative: the service tests it when a job is dequeued and again
+    when it completes — a running decomposition is never interrupted
+    mid-flight. *)
+
+val remaining_ms : t -> float
+(** Milliseconds until expiry; negative once {!expired}. *)

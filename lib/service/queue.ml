@@ -1,0 +1,60 @@
+(* Bounded blocking queue: one mutex, one condition variable.
+
+   Push never waits (backpressure is a refusal, not a stall), so the
+   condition only signals "an item arrived or the queue closed" to
+   blocked consumers. *)
+
+type 'a t = {
+  items : 'a Stdlib.Queue.t;
+  cap : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable is_closed : bool;
+}
+
+let create ~capacity =
+  {
+    items = Stdlib.Queue.create ();
+    cap = max 1 capacity;
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    is_closed = false;
+  }
+
+let capacity t = t.cap
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let length t = with_lock t (fun () -> Stdlib.Queue.length t.items)
+
+let closed t = with_lock t (fun () -> t.is_closed)
+
+let try_push t v =
+  with_lock t (fun () ->
+      if t.is_closed || Stdlib.Queue.length t.items >= t.cap then false
+      else begin
+        Stdlib.Queue.push v t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Stdlib.Queue.is_empty t.items) then Some (Stdlib.Queue.pop t.items)
+        else if t.is_closed then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  with_lock t (fun () ->
+      if not t.is_closed then begin
+        t.is_closed <- true;
+        Condition.broadcast t.nonempty
+      end)

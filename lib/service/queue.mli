@@ -1,0 +1,32 @@
+(** Bounded multi-producer / multi-consumer job queue.
+
+    The service's backpressure point: {!try_push} never blocks — a full
+    queue refuses the item so the caller can answer [overloaded]
+    immediately instead of letting latency grow without bound.
+    Consumers block in {!pop} until an item arrives or the queue is
+    closed and empty, which is how graceful drain lets workers finish
+    every accepted job before exiting. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is clamped to at least 1. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue without blocking; [false] when the queue is full or closed.
+    A [false] return is the caller's cue to reject — an accepted item is
+    never dropped. *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available and dequeue it.  [None] only after
+    {!close} once every remaining item has been drained. *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake every blocked consumer.  Items
+    already accepted remain poppable; idempotent. *)
+
+val closed : 'a t -> bool

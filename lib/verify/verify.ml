@@ -950,6 +950,256 @@ let obs_group =
             match Obs.Trace.check_file file with Ok _ -> true | Error _ -> false));
   ]
 
+(* ---------- service: the resident server against its laws ---------- *)
+
+(* Submit a batch of raw request lines to a fresh server and return the
+   sorted response multiset.  [drain] is the synchronization point: it
+   returns only after every accepted job has replied. *)
+let serve_batch ?exec ~workers lines =
+  let t =
+    Service.Server.create ?exec
+      {
+        Service.Server.default_config with
+        Service.Server.workers;
+        queue_depth = max 8 (List.length lines);
+      }
+  in
+  let lock = Mutex.create () in
+  let replies = ref [] in
+  List.iter
+    (fun line ->
+      Service.Server.submit_line t
+        ~reply:(fun r ->
+          Mutex.lock lock;
+          replies := r :: !replies;
+          Mutex.unlock lock)
+        line)
+    lines;
+  Service.Server.drain t;
+  List.sort compare !replies
+
+(* a small request mix: cheap ops plus real compiles over a bounded
+   parameter space (so the shared cache covers repeats quickly) *)
+let request_line_gen =
+  let open Service in
+  let compile_req =
+    G.map2
+      (fun (qubits, seed) id ->
+        Njson.to_string ~indent:0
+          (Njson.Obj
+             [
+               ("id", Njson.Int id);
+               ("op", Njson.String "compile");
+               ("app", Njson.String "qaoa");
+               ("isa", Njson.String "G2");
+               ("qubits", Njson.Int qubits);
+               ("seed", Njson.Int seed);
+             ]))
+      (G.pair (G.int_range 3 4) (G.int_range 1 3))
+      (G.int_range 0 1000)
+  in
+  let simple op =
+    G.map
+      (fun id ->
+        Njson.to_string ~indent:0
+          (Njson.Obj [ ("id", Njson.Int id); ("op", Njson.String op) ]))
+      (G.int_range 0 1000)
+  in
+  ignore Protocol.schema;
+  G.choose [ compile_req; simple "ping"; simple "devices"; compile_req ]
+
+let print_lines lines = String.concat "\n" lines
+
+let obj_line kvs = Njson.to_string ~indent:0 (Njson.Obj kvs)
+
+let error_kind_of_reply reply =
+  match Njson.of_string_result reply with
+  | Ok j -> (
+    match Njson.member "error" j with
+    | Some e -> (
+      match Njson.member "kind" e with Some (Njson.String k) -> Some k | _ -> None)
+    | None -> None)
+  | Error _ -> None
+
+let ok_reply reply =
+  match Njson.of_string_result reply with
+  | Ok j -> Njson.member "ok" j = Some (Njson.Bool true)
+  | Error _ -> false
+
+let service_group =
+  [
+    (* the tentpole law: the response multiset is invariant under worker
+       count — a 3-worker server answers byte for byte what the
+       1-worker (sequential) server answers *)
+    test "responses are byte-identical at pool sizes 1 and 3" ~count:4
+      (arb ~print:print_lines (G.list_of ~len:(G.int_range 1 6) request_line_gen))
+      (fun lines ->
+        let sequential = serve_batch ~workers:1 lines in
+        let concurrent = serve_batch ~workers:3 lines in
+        List.equal String.equal sequential concurrent);
+    (* backpressure: with the worker wedged and the queue full, every
+       extra request is refused as [overloaded], synchronously, and
+       every accepted one still completes after the wedge lifts —
+       nothing is ever dropped *)
+    test "queue overflow always answers overloaded, never drops" ~count:5
+      (arb
+         ~print:(fun (q, k) -> Printf.sprintf "queue=%d extras=%d" q k)
+         (G.pair (G.int_range 1 4) (G.int_range 1 4)))
+      (fun (q, k) ->
+        let gate = Mutex.create () in
+        let gate_cv = Condition.create () in
+        let open_ = ref false in
+        let started = Atomic.make 0 in
+        let exec _req =
+          Mutex.lock gate;
+          Atomic.incr started;
+          Condition.broadcast gate_cv;
+          while not !open_ do
+            Condition.wait gate_cv gate
+          done;
+          Mutex.unlock gate;
+          Ok (Njson.Bool true)
+        in
+        let t =
+          Service.Server.create ~exec
+            {
+              Service.Server.default_config with
+              Service.Server.workers = 1;
+              queue_depth = q;
+            }
+        in
+        let lock = Mutex.create () in
+        let replies = ref [] in
+        let reply r =
+          Mutex.lock lock;
+          replies := r :: !replies;
+          Mutex.unlock lock
+        in
+        let submit i = Service.Server.submit_line t ~reply (obj_line [ ("id", Njson.Int i); ("op", Njson.String "ping") ]) in
+        submit 0;
+        (* wait until the single worker holds request 0, so the queue
+           really has q free slots — a blocking wait, because on a
+           loaded single-core box the worker domain can take arbitrarily
+           long to be scheduled *)
+        Mutex.lock gate;
+        while Atomic.get started = 0 do
+          Condition.wait gate_cv gate
+        done;
+        Mutex.unlock gate;
+        for i = 1 to q do
+          submit i
+        done;
+        (* these k must bounce immediately: the reply arrives before
+           submit_line returns *)
+        let overloaded = ref 0 in
+        for i = q + 1 to q + k do
+          let before = List.length !replies in
+          submit i;
+          Mutex.lock lock;
+          let now = !replies in
+          Mutex.unlock lock;
+          if
+            List.length now = before + 1
+            && error_kind_of_reply (List.hd now) = Some "overloaded"
+          then incr overloaded
+        done;
+        Mutex.lock gate;
+        open_ := true;
+        Condition.broadcast gate_cv;
+        Mutex.unlock gate;
+        Service.Server.drain t;
+        !overloaded = k
+        && List.length !replies = 1 + q + k
+        && List.length (List.filter ok_reply !replies) = 1 + q);
+    (* deadlines: a request that expires in the queue answers [timeout]
+       without executing, one that expires mid-execution answers
+       [timeout] after it, and the worker slot survives both *)
+    test "deadline exceeded yields timeout and the slot is reclaimed" ~count:3
+      (arb ~print:(Printf.sprintf "deadline=%dms") (G.int_range 1 5))
+      (fun dl_ms ->
+        let gate = Mutex.create () in
+        let gate_cv = Condition.create () in
+        let open_ = ref false in
+        let entered = ref false in
+        let started = Atomic.make 0 in
+        let exec req =
+          Atomic.incr started;
+          (match Njson.member "block" req.Service.Protocol.body with
+          | Some (Njson.Bool true) ->
+            Mutex.lock gate;
+            entered := true;
+            Condition.broadcast gate_cv;
+            while not !open_ do
+              Condition.wait gate_cv gate
+            done;
+            Mutex.unlock gate
+          | _ -> ());
+          Ok (Njson.Bool true)
+        in
+        let t =
+          Service.Server.create ~exec
+            {
+              Service.Server.default_config with
+              Service.Server.workers = 1;
+              queue_depth = 8;
+            }
+        in
+        let lock = Mutex.create () in
+        let replies = Hashtbl.create 4 in
+        let reply_for id r =
+          Mutex.lock lock;
+          Hashtbl.replace replies id r;
+          Mutex.unlock lock
+        in
+        (* r0 wedges the worker; it carries no deadline, so it reaches
+           the executor no matter how slowly the domain is scheduled *)
+        Service.Server.submit_line t ~reply:(reply_for 0)
+          (obj_line
+             [
+               ("id", Njson.Int 0);
+               ("op", Njson.String "ping");
+               ("block", Njson.Bool true);
+             ]);
+        Mutex.lock gate;
+        while not !entered do
+          Condition.wait gate_cv gate
+        done;
+        Mutex.unlock gate;
+        (* r1 queues behind the wedge with a deadline we let expire
+           before releasing the worker.  The probe is armed after
+           submit_line returns, so on the shared monotonic clock the
+           probe expiring implies r1's own deadline has expired *)
+        Service.Server.submit_line t ~reply:(reply_for 1)
+          (obj_line
+             [
+               ("id", Njson.Int 1);
+               ("op", Njson.String "ping");
+               ("deadline_ms", Njson.Float (float_of_int dl_ms));
+             ]);
+        let probe = Service.Deadline.after ~ms:(float_of_int dl_ms) in
+        while not (Service.Deadline.expired probe) do
+          Unix.sleepf 0.001
+        done;
+        (* r2: no deadline -> proves the worker slot was reclaimed *)
+        Service.Server.submit_line t ~reply:(reply_for 2)
+          (obj_line [ ("id", Njson.Int 2); ("op", Njson.String "ping") ]);
+        Mutex.lock gate;
+        open_ := true;
+        Condition.broadcast gate_cv;
+        Mutex.unlock gate;
+        Service.Server.drain t;
+        let kind id = Option.bind (Hashtbl.find_opt replies id) error_kind_of_reply in
+        let ok id =
+          match Hashtbl.find_opt replies id with
+          | Some r -> ok_reply r
+          | None -> false
+        in
+        ok 0
+        && kind 1 = Some "timeout"
+        && ok 2
+        && Atomic.get started = 2 (* r1 never reached the executor *));
+  ]
+
 let all =
   [
     ("mat", mat);
@@ -964,4 +1214,5 @@ let all =
     ("device", device);
     ("persist", persist);
     ("obs", obs_group);
+    ("service", service_group);
   ]

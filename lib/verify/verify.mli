@@ -74,5 +74,13 @@ val persist : (string * (unit -> unit)) list
     a loaded snapshot equals the cold compile structurally while its
     reuse shows up in the warm-hit counter. *)
 
+val service_group : (string * (unit -> unit)) list
+(** The resident server against its laws: the response multiset is
+    byte-identical at pool sizes 1 and 3 (concurrent ≡ sequential), a
+    full queue always answers [overloaded] synchronously and never
+    drops an accepted job, and deadline-exceeded requests answer
+    [timeout] — whether they expired queued or mid-execution — with
+    the worker slot reclaimed for the next request. *)
+
 val all : (string * (string * (unit -> unit)) list) list
 (** Every group above, keyed by name, in dependency order. *)
